@@ -1,0 +1,232 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation as Go benchmarks (one per artifact), plus
+// fine-grained microbenchmarks of the paths the paper's claims rest on:
+// snapshot restore vs cold boot, interpreter vs JIT execution, and CoW
+// page accounting.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks report virtual-time metrics (ns_virtual/op
+// style custom metrics) alongside wall-clock numbers; the printed
+// figures themselves come from `go run ./cmd/fwbench -run all`.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/lang"
+	"repro/internal/lang/bytecode"
+	"repro/internal/lang/jit"
+	"repro/internal/lang/vm"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/vclock"
+	"repro/internal/vmm"
+	"repro/internal/workloads"
+)
+
+// benchExperiment runs one full experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Checks {
+			if !c.Pass {
+				b.Fatalf("%s: shape check %q failed (paper %s, measured %s)",
+					id, c.Name, c.Expected, c.Measured)
+			}
+		}
+	}
+}
+
+// --- One benchmark per table/figure (deliverable d) ---
+
+func BenchmarkTable1Matrix(b *testing.B)       { benchExperiment(b, "table1") }
+func BenchmarkTable2Workloads(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkSnapshotCreation(b *testing.B)   { benchExperiment(b, "snaptime") }
+func BenchmarkFig6NodeFaaSdom(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7PythonFaaSdom(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig9RealWorld(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10Consolidation(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11FactorPerf(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12FactorMemory(b *testing.B)  { benchExperiment(b, "fig12") }
+
+// Extension experiments (beyond the paper's figures).
+func BenchmarkWildTrace(b *testing.B)          { benchExperiment(b, "wild") }
+func BenchmarkAblationREAP(b *testing.B)       { benchExperiment(b, "reap") }
+func BenchmarkAblationSnapBudget(b *testing.B) { benchExperiment(b, "snapbudget") }
+func BenchmarkAblationDeopt(b *testing.B)      { benchExperiment(b, "deopt") }
+func BenchmarkClusterScale(b *testing.B)       { benchExperiment(b, "scale") }
+
+// --- Microbenchmarks of the mechanisms under the figures ---
+
+// BenchmarkFireworksInvoke measures the full Fireworks invoke path
+// (queue produce, snapshot restore, netns setup, param fetch, JITted
+// execution) and reports the virtual latency as a custom metric.
+func BenchmarkFireworksInvoke(b *testing.B) {
+	env := platform.NewEnv(platform.EnvConfig{})
+	fw := core.New(env, core.Options{})
+	w := workloads.Fact(runtime.LangNode)
+	if _, err := fw.Install(w.Function); err != nil {
+		b.Fatal(err)
+	}
+	params := platform.MustParams(map[string]any{"n": 9999991, "rounds": 1})
+	b.ResetTimer()
+	var virtual int64
+	for i := 0; i < b.N; i++ {
+		inv, err := fw.Invoke(w.Name, params, platform.InvokeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual += int64(inv.Breakdown.Total())
+	}
+	b.ReportMetric(float64(virtual)/float64(b.N), "ns_virtual/op")
+}
+
+// BenchmarkFirecrackerColdInvoke is the baseline the 133x claim is
+// measured against.
+func BenchmarkFirecrackerColdInvoke(b *testing.B) {
+	env := platform.NewEnv(platform.EnvConfig{})
+	p := platform.NewFirecracker(env, platform.FCNoSnapshot)
+	w := workloads.Fact(runtime.LangNode)
+	if _, err := p.Install(w.Function); err != nil {
+		b.Fatal(err)
+	}
+	params := platform.MustParams(map[string]any{"n": 9999991, "rounds": 1})
+	b.ResetTimer()
+	var virtual int64
+	for i := 0; i < b.N; i++ {
+		inv, err := p.Invoke(w.Name, params, platform.InvokeOptions{Mode: platform.ModeCold})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virtual += int64(inv.Breakdown.Total())
+		b.StopTimer()
+		if err := p.Remove(w.Name); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Install(w.Function); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(virtual)/float64(b.N), "ns_virtual/op")
+}
+
+// BenchmarkInterpreter and BenchmarkJIT measure the two FaaSLang
+// execution tiers on the same hot loop (real wall-clock speed of the
+// simulator itself).
+const hotLoopSrc = `
+func hot(n) {
+  let total = 0;
+  let i = 0;
+  while (i < n) {
+    total = total + i * i;
+    i = i + 1;
+  }
+  return total;
+}
+`
+
+func setupTier(b *testing.B, compiled bool) (*vm.VM, *bytecode.Closure) {
+	b.Helper()
+	mod, err := bytecode.CompileSource(hotLoopSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := vm.New(nil)
+	engine := jit.NewEngine(jit.Config{})
+	v.JIT = engine
+	if _, err := v.RunModule(mod); err != nil {
+		b.Fatal(err)
+	}
+	cl := v.Globals["hot"].(*bytecode.Closure)
+	if compiled {
+		engine.Compile(cl.Fn, nil)
+	}
+	return v, cl
+}
+
+func BenchmarkInterpreterTier(b *testing.B) {
+	v, cl := setupTier(b, false)
+	args := []lang.Value{int64(1000)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.CallValue(cl, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJITTier(b *testing.B) {
+	v, cl := setupTier(b, true)
+	args := []lang.Value{int64(1000)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.CallValue(cl, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRestore isolates the hypervisor restore path.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	env := platform.NewEnv(platform.EnvConfig{})
+	fw := core.New(env, core.Options{})
+	w := workloads.NetLatency(runtime.LangNode)
+	if _, err := fw.Install(w.Function); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := env.Snaps.Get(w.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock := vclock.New()
+		vm_, err := env.HV.Restore(snap, vmm.RestoreOptions{}, clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vm_.Stop(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPSSAccounting stresses the page-sharing arithmetic behind
+// Figures 10 and 12: map + dirty + PSS over many spaces.
+func BenchmarkPSSAccounting(b *testing.B) {
+	env := platform.NewEnv(platform.EnvConfig{})
+	region := env.Mem.NewRegion("bench", "heap", 4096)
+	spaces := make([]spaceLike, 0, 64)
+	for i := 0; i < 64; i++ {
+		s := env.Mem.NewSpace("s")
+		s.MapRegion(region)
+		s.DirtyPages(region, i*8)
+		spaces = append(spaces, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for _, s := range spaces {
+			sum += s.PSS()
+		}
+		if sum <= 0 {
+			b.Fatal("no PSS")
+		}
+	}
+}
+
+type spaceLike interface{ PSS() float64 }

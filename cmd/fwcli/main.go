@@ -1,0 +1,153 @@
+// Command fwcli installs and invokes a FaaSLang serverless function on
+// any of the simulated platforms, printing the latency breakdown — a
+// one-shot tool for exploring how the same function behaves across
+// sandboxes.
+//
+// Usage:
+//
+//	fwcli -file fn.fl -lang nodejs -params '{"n": 42}'
+//	fwcli -file fn.fl -platform openwhisk -mode cold -repeat 3
+//	fwcli -builtin faas-fact-python -platform firecracker -mode cold
+//	fwcli -list-builtins
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	rt "repro/internal/runtime"
+	"repro/internal/workloads"
+)
+
+func main() {
+	file := flag.String("file", "", "FaaSLang source file of the function")
+	builtin := flag.String("builtin", "", "use a built-in workload by name (see -list-builtins)")
+	name := flag.String("name", "fn", "function name")
+	lang := flag.String("lang", "nodejs", "runtime: nodejs or python")
+	params := flag.String("params", "{}", "invocation parameters (JSON object)")
+	platformName := flag.String("platform", "fireworks", "fireworks, openwhisk, gvisor, firecracker, firecracker+os-snapshot, isolate")
+	mode := flag.String("mode", "auto", "start mode: auto, cold, warm")
+	repeat := flag.Int("repeat", 1, "number of invocations")
+	listBuiltins := flag.Bool("list-builtins", false, "list built-in workloads and exit")
+	verbose := flag.Bool("v", false, "print the per-event accounting log")
+	flag.Parse()
+
+	if *listBuiltins {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-24s %-16s %s\n", w.Name, w.Suite, w.Description)
+		}
+		return
+	}
+
+	fn, err := resolveFunction(*file, *builtin, *name, *lang)
+	if err != nil {
+		fatal(err)
+	}
+	env := platform.NewEnv(platform.EnvConfig{})
+	p, err := resolvePlatform(*platformName, env)
+	if err != nil {
+		fatal(err)
+	}
+	startMode, err := resolveMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	report, err := p.Install(fn)
+	if err != nil {
+		fatal(fmt.Errorf("install: %w", err))
+	}
+	fmt.Printf("installed %q on %s", fn.Name, p.PlatformName())
+	if report.Duration > 0 {
+		fmt.Printf(" in %v (snapshot %.0f MiB)", report.Duration, float64(report.SnapshotBytes)/(1<<20))
+	}
+	fmt.Println()
+
+	paramValue, err := rt.DecodeJSON([]byte(*params))
+	if err != nil {
+		fatal(fmt.Errorf("params: %w", err))
+	}
+	for i := 0; i < *repeat; i++ {
+		inv, err := p.Invoke(fn.Name, paramValue, platform.InvokeOptions{Mode: startMode})
+		if err != nil {
+			fatal(fmt.Errorf("invoke: %w", err))
+		}
+		fmt.Printf("#%d [%s] start-up=%v exec=%v others=%v total=%v\n",
+			i+1, inv.Mode, inv.Breakdown.Startup(), inv.Breakdown.Exec(),
+			inv.Breakdown.Others(), inv.Breakdown.Total())
+		if inv.Response != nil {
+			fmt.Printf("   HTTP %d: %s\n", inv.Response.Status, inv.Response.Body)
+		}
+		if inv.Logs != "" {
+			fmt.Printf("   logs: %s", inv.Logs)
+		}
+		if *verbose {
+			for _, ev := range inv.Breakdown.Events() {
+				fmt.Printf("   %-10s %-18s %v\n", ev.Phase, ev.Label, ev.Cost)
+			}
+		}
+	}
+}
+
+func resolveFunction(file, builtin, name, lang string) (platform.Function, error) {
+	if builtin != "" {
+		for _, w := range workloads.All() {
+			if w.Name == builtin {
+				return w.Function, nil
+			}
+		}
+		return platform.Function{}, fmt.Errorf("unknown builtin %q (try -list-builtins)", builtin)
+	}
+	if file == "" {
+		return platform.Function{}, fmt.Errorf("one of -file or -builtin is required")
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return platform.Function{}, err
+	}
+	l := rt.Lang(lang)
+	if l != rt.LangNode && l != rt.LangPython {
+		return platform.Function{}, fmt.Errorf("unknown language %q", lang)
+	}
+	return platform.Function{Name: name, Source: string(src), Lang: l}, nil
+}
+
+func resolvePlatform(name string, env *platform.Env) (platform.Platform, error) {
+	switch name {
+	case "fireworks":
+		return core.New(env, core.Options{}), nil
+	case "openwhisk":
+		return platform.NewOpenWhisk(env), nil
+	case "gvisor":
+		return platform.NewGVisor(env), nil
+	case "firecracker":
+		return platform.NewFirecracker(env, platform.FCNoSnapshot), nil
+	case "firecracker+os-snapshot":
+		return platform.NewFirecracker(env, platform.FCOSSnapshot), nil
+	case "isolate":
+		return platform.NewIsolate(env), nil
+	default:
+		return nil, fmt.Errorf("unknown platform %q", name)
+	}
+}
+
+func resolveMode(mode string) (platform.StartMode, error) {
+	switch mode {
+	case "auto":
+		return platform.ModeAuto, nil
+	case "cold":
+		return platform.ModeCold, nil
+	case "warm":
+		return platform.ModeWarm, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fwcli:", err)
+	os.Exit(1)
+}

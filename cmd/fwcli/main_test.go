@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestResolveFunctionBuiltin(t *testing.T) {
+	fn, err := resolveFunction("", "faas-fact-python", "x", "nodejs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Name != "faas-fact-python" || fn.Lang != "python" {
+		t.Fatalf("fn = %+v", fn)
+	}
+	if _, err := resolveFunction("", "nope", "x", "nodejs"); err == nil ||
+		!strings.Contains(err.Error(), "unknown builtin") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResolveFunctionFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fn.fl")
+	if err := os.WriteFile(path, []byte("func main(p) { return 1; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fn, err := resolveFunction(path, "", "myfn", "python")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Name != "myfn" || fn.Lang != "python" || !strings.Contains(fn.Source, "return 1") {
+		t.Fatalf("fn = %+v", fn)
+	}
+	if _, err := resolveFunction(path, "", "x", "cobol"); err == nil {
+		t.Fatal("bad language accepted")
+	}
+	if _, err := resolveFunction(filepath.Join(dir, "missing.fl"), "", "x", "nodejs"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := resolveFunction("", "", "x", "nodejs"); err == nil {
+		t.Fatal("no source accepted")
+	}
+}
+
+func TestResolvePlatform(t *testing.T) {
+	env := platform.NewEnv(platform.EnvConfig{})
+	for name, want := range map[string]string{
+		"fireworks":               "fireworks",
+		"openwhisk":               "openwhisk",
+		"gvisor":                  "gvisor",
+		"firecracker":             "firecracker",
+		"firecracker+os-snapshot": "firecracker+os-snapshot",
+		"isolate":                 "isolate",
+	} {
+		p, err := resolvePlatform(name, env)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.PlatformName() != want {
+			t.Fatalf("%s -> %s", name, p.PlatformName())
+		}
+	}
+	if _, err := resolvePlatform("lambda", env); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestResolveMode(t *testing.T) {
+	cases := map[string]platform.StartMode{
+		"auto": platform.ModeAuto, "cold": platform.ModeCold, "warm": platform.ModeWarm,
+	}
+	for name, want := range cases {
+		got, err := resolveMode(name)
+		if err != nil || got != want {
+			t.Fatalf("%s -> %v, %v", name, got, err)
+		}
+	}
+	if _, err := resolveMode("tepid"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

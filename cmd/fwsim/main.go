@@ -1,0 +1,204 @@
+// Command fwsim runs a Fireworks platform behind a real HTTP gateway —
+// the serverless frontend of Figure 1 over the simulated backend. It
+// lets you drive installs and invocations with curl and watch host
+// state (live microVMs, memory, snapshot store).
+//
+//	fwsim -addr :8080
+//
+//	# install a function
+//	curl -s localhost:8080/install -d '{
+//	  "name": "hello",
+//	  "lang": "nodejs",
+//	  "source": "func main(params) { return \"hi \" + params.who; }",
+//	  "default_params": {"who": "world"}
+//	}'
+//
+//	# invoke it
+//	curl -s localhost:8080/invoke/hello -d '{"who": "fireworks"}'
+//
+//	# inspect the platform
+//	curl -s localhost:8080/functions
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	rt "repro/internal/runtime"
+)
+
+type server struct {
+	env *platform.Env
+	fw  *core.Framework
+
+	mu       sync.Mutex
+	installs map[string]*platform.InstallReport
+}
+
+type installRequest struct {
+	Name          string         `json:"name"`
+	Lang          string         `json:"lang"`
+	Source        string         `json:"source"`
+	Entry         string         `json:"entry"`
+	DefaultParams map[string]any `json:"default_params"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	s := &server{
+		env:      platform.NewEnv(platform.EnvConfig{}),
+		installs: make(map[string]*platform.InstallReport),
+	}
+	s.fw = core.New(s.env, core.Options{})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /install", s.handleInstall)
+	mux.HandleFunc("POST /invoke/{name}", s.handleInvoke)
+	mux.HandleFunc("GET /functions", s.handleFunctions)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("DELETE /functions/{name}", s.handleRemove)
+
+	log.Printf("fwsim gateway on http://%s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	var req installRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	lang := rt.Lang(req.Lang)
+	if lang == "" {
+		lang = rt.LangNode
+	}
+	report, err := s.fw.Install(platform.Function{
+		Name:          req.Name,
+		Source:        req.Source,
+		Lang:          lang,
+		Entry:         req.Entry,
+		DefaultParams: req.DefaultParams,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.installs[req.Name] = report
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"function":       report.Function,
+		"install_time":   report.Duration.String(),
+		"snapshot_bytes": report.SnapshotBytes,
+		"jit_compiled":   report.JITCompiled,
+	})
+}
+
+func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) == 0 {
+		body = []byte("{}")
+	}
+	params, err := rt.DecodeJSON(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("params: %w", err))
+		return
+	}
+	inv, err := s.fw.Invoke(name, params, platform.InvokeOptions{})
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	resultJSON, err := rt.EncodeJSON(inv.Result)
+	if err != nil {
+		resultJSON = []byte("null")
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"result":   json.RawMessage(resultJSON),
+		"response": inv.Response,
+		"latency": map[string]string{
+			"start-up": inv.Breakdown.Startup().String(),
+			"exec":     inv.Breakdown.Exec().String(),
+			"others":   inv.Breakdown.Others().String(),
+			"total":    inv.Breakdown.Total().String(),
+		},
+		"sandbox": inv.SandboxID,
+		"logs":    inv.Logs,
+	})
+}
+
+func (s *server) handleFunctions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.installs))
+	for name := range s.installs {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	out := make([]map[string]any, 0, len(names))
+	for _, name := range names {
+		s.mu.Lock()
+		rep := s.installs[name]
+		s.mu.Unlock()
+		out = append(out, map[string]any{
+			"name":           name,
+			"snapshot_bytes": rep.SnapshotBytes,
+			"install_time":   rep.Duration.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"host_memory_used":    s.env.Mem.Used(),
+		"host_memory_total":   s.env.Mem.Capacity(),
+		"swap_threshold":      s.env.Mem.SwapThreshold(),
+		"swapping":            s.env.Mem.Swapping(),
+		"live_microvms":       s.env.HV.VMCount(),
+		"network_namespaces":  s.env.Router.NamespaceCount(),
+		"snapshot_disk_bytes": s.env.Snaps.UsedBytes(),
+		"snapshots":           s.env.Snaps.Names(),
+		"databases":           s.env.Couch.Names(),
+	})
+}
+
+func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.fw.Remove(name); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.installs, name)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := &server{
+		env:      platform.NewEnv(platform.EnvConfig{}),
+		installs: make(map[string]*platform.InstallReport),
+	}
+	s.fw = core.New(s.env, core.Options{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /install", s.handleInstall)
+	mux.HandleFunc("POST /invoke/{name}", s.handleInvoke)
+	mux.HandleFunc("GET /functions", s.handleFunctions)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("DELETE /functions/{name}", s.handleRemove)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+const installBody = `{
+  "name": "hello",
+  "lang": "nodejs",
+  "source": "func main(params) { return \"hi \" + params.who; }",
+  "default_params": {"who": "world"}
+}`
+
+func TestInstallAndInvokeOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	status, out := post(t, ts.URL+"/install", installBody)
+	if status != http.StatusCreated {
+		t.Fatalf("install status = %d: %v", status, out)
+	}
+	if out["function"] != "hello" || out["snapshot_bytes"].(float64) == 0 {
+		t.Fatalf("install response: %v", out)
+	}
+
+	status, out = post(t, ts.URL+"/invoke/hello", `{"who": "fireworks"}`)
+	if status != http.StatusOK {
+		t.Fatalf("invoke status = %d: %v", status, out)
+	}
+	if out["result"] != "hi fireworks" {
+		t.Fatalf("result = %v", out["result"])
+	}
+	latency := out["latency"].(map[string]any)
+	if latency["start-up"] == "" || latency["total"] == "" {
+		t.Fatalf("latency missing: %v", latency)
+	}
+}
+
+func TestInstallErrorsOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	status, out := post(t, ts.URL+"/install", `{"name": "bad", "source": "func ("}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d", status)
+	}
+	if out["error"] == "" {
+		t.Fatalf("no error body: %v", out)
+	}
+	status, _ = post(t, ts.URL+"/install", `{broken json`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", status)
+	}
+}
+
+func TestInvokeUnknownOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	status, out := post(t, ts.URL+"/invoke/ghost", `{}`)
+	if status != http.StatusBadGateway {
+		t.Fatalf("status = %d: %v", status, out)
+	}
+}
+
+func TestFunctionsAndStatsEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/install", installBody)
+
+	resp, err := http.Get(ts.URL + "/functions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fns []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&fns); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(fns) != 1 || fns[0]["name"] != "hello" {
+		t.Fatalf("functions = %v", fns)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st["snapshot_disk_bytes"].(float64) == 0 {
+		t.Fatalf("stats = %v", st)
+	}
+	if st["live_microvms"].(float64) != 0 {
+		t.Fatal("VMs leaked between requests")
+	}
+}
+
+func TestRemoveEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/install", installBody)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/functions/hello", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	status, _ := post(t, ts.URL+"/invoke/hello", `{}`)
+	if status != http.StatusBadGateway {
+		t.Fatalf("invoke after delete = %d", status)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/functions/hello", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete = %d", resp.StatusCode)
+	}
+}

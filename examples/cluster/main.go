@@ -1,0 +1,51 @@
+// Cluster: the multi-host extension. A four-node backend fleet runs
+// Fireworks on every node; the controller places invocations by
+// least-memory, skipping nodes under memory pressure — the elastic
+// provisioning story of Figure 1 scaled past one server.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// Four 32 GiB nodes, least-memory placement.
+	c := cluster.New(4, cluster.LeastMemory,
+		platform.EnvConfig{MemBytes: 32 << 30},
+		func(env *platform.Env) platform.Platform {
+			// Retain instances so memory pressure is visible.
+			return core.New(env, core.Options{RetainInstances: true})
+		})
+
+	w := workloads.Fact(runtime.LangNode)
+	if err := c.Install(w.Function); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed %s on %d nodes (policy: %s)\n\n", w.Name, len(c.Nodes()), c.Policy())
+
+	params := platform.MustParams(map[string]any{"n": 9999991, "rounds": 1})
+	const total = 120
+	for i := 0; i < total; i++ {
+		if _, _, err := c.Invoke(w.Name, params, platform.InvokeOptions{}); err != nil {
+			log.Fatalf("invocation %d: %v", i, err)
+		}
+	}
+
+	fmt.Printf("%-10s %-12s %-10s %-12s %s\n", "node", "invocations", "microVMs", "memory", "swapping")
+	for _, s := range c.Stats() {
+		fmt.Printf("%-10s %-12d %-10d %-12s %v\n",
+			s.Name, s.Invocations, s.MicroVMs, stats.FormatBytes(s.MemUsed), s.Swapping)
+	}
+	fmt.Printf("\n%d invocations placed across the fleet; every node holds one shared\n", c.TotalInvocations())
+	fmt.Println("post-JIT snapshot and its instances CoW-share those pages node-locally.")
+}

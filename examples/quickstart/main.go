@@ -1,0 +1,78 @@
+// Quickstart: install one serverless function on Fireworks and invoke
+// it, printing the latency breakdown. This is the smallest end-to-end
+// tour of the public API: build a host Env, create the Framework,
+// Install (annotate → boot → JIT → post-JIT snapshot), Invoke (resume
+// snapshot → fetch params → run JITted code).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+)
+
+// A user-provided serverless function, as it would be uploaded: plain
+// FaaSLang with a main(params) entry. The Fireworks annotator adds the
+// @jit decorators and snapshot drivers automatically.
+const userFunction = `
+// Sum the squares of 1..n.
+func sumSquares(n) {
+  let total = 0;
+  let i = 1;
+  while (i <= n) {
+    total = total + i * i;
+    i = i + 1;
+  }
+  return total;
+}
+
+func main(params) {
+  let n = params.n;
+  if (n == null) { n = 1000; }
+  let result = sumSquares(n);
+  http_respond(200, "sumSquares(" + n + ") = " + result);
+  return result;
+}
+`
+
+func main() {
+	// One simulated host: 128 GiB of memory, a hypervisor, a message
+	// bus, a CouchDB server, and snapshot storage.
+	env := platform.NewEnv(platform.EnvConfig{})
+	fw := core.New(env, core.Options{})
+
+	// Install: this boots a microVM, loads the Node.js runtime, runs
+	// the function once with default params to force JIT compilation,
+	// and captures the post-JIT VM snapshot.
+	report, err := fw.Install(platform.Function{
+		Name:          "sum-squares",
+		Source:        userFunction,
+		Lang:          runtime.LangNode,
+		DefaultParams: map[string]any{"n": 1000},
+	})
+	if err != nil {
+		log.Fatalf("install: %v", err)
+	}
+	fmt.Printf("installed %q in %v (virtual time)\n", report.Function, report.Duration)
+	fmt.Printf("  post-JIT snapshot: %.0f MiB, JIT-compiled: %v\n\n",
+		float64(report.SnapshotBytes)/(1<<20), report.JITCompiled)
+
+	// Invoke: every invocation resumes the snapshot — no boot, no JIT
+	// warm-up, no cold/warm distinction.
+	for _, n := range []int{10, 100000} {
+		inv, err := fw.Invoke("sum-squares",
+			platform.MustParams(map[string]any{"n": n}), platform.InvokeOptions{})
+		if err != nil {
+			log.Fatalf("invoke: %v", err)
+		}
+		fmt.Printf("invoke n=%-7d -> %s (HTTP %d)\n", n, inv.Response.Body, inv.Response.Status)
+		fmt.Printf("  start-up %-10v exec %-10v others %-10v total %v\n",
+			inv.Breakdown.Startup(), inv.Breakdown.Exec(),
+			inv.Breakdown.Others(), inv.Breakdown.Total())
+	}
+}

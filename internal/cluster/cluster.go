@@ -1,0 +1,207 @@
+// Package cluster adds the controller tier of Figure 1 above single
+// hosts: a fleet of backend servers, each with its own memory, network,
+// hypervisor, and Fireworks framework, behind a placement policy. The
+// paper evaluates a single machine (§5.1, following prior work); this
+// package is the natural multi-host extension — API-gateway requests are
+// routed to a backend chosen round-robin, by least memory pressure, or
+// by least in-flight load, and hosts that have started swapping are
+// avoided entirely.
+//
+// Function snapshots are installed on every node, which also models the
+// §6 remark that snapshot images can live in remote storage and be
+// materialized per host.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lang"
+	"repro/internal/platform"
+)
+
+// Policy selects how invocations are placed on nodes.
+type Policy int
+
+// Placement policies.
+const (
+	// RoundRobin cycles through non-swapping nodes.
+	RoundRobin Policy = iota
+	// LeastMemory picks the node with the lowest memory usage.
+	LeastMemory
+	// LeastInflight picks the node with the fewest in-flight
+	// invocations.
+	LeastInflight
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LeastMemory:
+		return "least-memory"
+	case LeastInflight:
+		return "least-inflight"
+	default:
+		return "round-robin"
+	}
+}
+
+// ErrClusterFull is returned when every node is under memory pressure.
+var ErrClusterFull = errors.New("cluster: all nodes swapping")
+
+// Node is one backend server.
+type Node struct {
+	Name     string
+	Env      *platform.Env
+	Platform platform.Platform
+
+	inflight    atomic.Int64
+	invocations atomic.Int64
+}
+
+// Inflight returns the node's current in-flight invocation count.
+func (n *Node) Inflight() int64 { return n.inflight.Load() }
+
+// Invocations returns the node's lifetime invocation count.
+func (n *Node) Invocations() int64 { return n.invocations.Load() }
+
+// Cluster is a set of backend nodes behind one placement policy.
+type Cluster struct {
+	policy Policy
+	nodes  []*Node
+
+	mu sync.Mutex
+	rr int
+}
+
+// New builds a cluster of n nodes. mk constructs each node's platform
+// from its private host environment (e.g. a Fireworks framework).
+func New(n int, policy Policy, envCfg platform.EnvConfig,
+	mk func(env *platform.Env) platform.Platform) *Cluster {
+	c := &Cluster{policy: policy}
+	for i := 0; i < n; i++ {
+		env := platform.NewEnv(envCfg)
+		c.nodes = append(c.nodes, &Node{
+			Name:     fmt.Sprintf("node-%02d", i),
+			Env:      env,
+			Platform: mk(env),
+		})
+	}
+	return c
+}
+
+// Nodes returns the cluster's nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Policy returns the placement policy.
+func (c *Cluster) Policy() Policy { return c.policy }
+
+// Install deploys a function on every node (each node materializes its
+// own snapshot). The first error aborts and is returned.
+func (c *Cluster) Install(fn platform.Function) error {
+	for _, node := range c.nodes {
+		if _, err := node.Platform.Install(fn); err != nil {
+			return fmt.Errorf("cluster: %s: %w", node.Name, err)
+		}
+	}
+	return nil
+}
+
+// Remove undeploys a function everywhere.
+func (c *Cluster) Remove(name string) error {
+	for _, node := range c.nodes {
+		if err := node.Platform.Remove(name); err != nil {
+			return fmt.Errorf("cluster: %s: %w", node.Name, err)
+		}
+	}
+	return nil
+}
+
+// pick selects a node per the policy, skipping nodes that are swapping.
+func (c *Cluster) pick() (*Node, error) {
+	candidates := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if !n.Env.Mem.Swapping() {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, ErrClusterFull
+	}
+	switch c.policy {
+	case LeastMemory:
+		best := candidates[0]
+		for _, n := range candidates[1:] {
+			if n.Env.Mem.Used() < best.Env.Mem.Used() {
+				best = n
+			}
+		}
+		return best, nil
+	case LeastInflight:
+		best := candidates[0]
+		for _, n := range candidates[1:] {
+			if n.Inflight() < best.Inflight() {
+				best = n
+			}
+		}
+		return best, nil
+	default:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := candidates[c.rr%len(candidates)]
+		c.rr++
+		return n, nil
+	}
+}
+
+// Invoke routes one invocation to a node and runs it there, returning
+// the invocation and the chosen node.
+func (c *Cluster) Invoke(name string, params lang.Value, opts platform.InvokeOptions) (*platform.Invocation, *Node, error) {
+	node, err := c.pick()
+	if err != nil {
+		return nil, nil, err
+	}
+	node.inflight.Add(1)
+	defer node.inflight.Add(-1)
+	inv, err := node.Platform.Invoke(name, params, opts)
+	if err != nil {
+		return inv, node, fmt.Errorf("cluster: %s: %w", node.Name, err)
+	}
+	node.invocations.Add(1)
+	return inv, node, nil
+}
+
+// NodeStats is a point-in-time view of one node.
+type NodeStats struct {
+	Name        string
+	MemUsed     uint64
+	Swapping    bool
+	MicroVMs    int
+	Invocations int64
+}
+
+// Stats snapshots every node.
+func (c *Cluster) Stats() []NodeStats {
+	out := make([]NodeStats, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, NodeStats{
+			Name:        n.Name,
+			MemUsed:     n.Env.Mem.Used(),
+			Swapping:    n.Env.Mem.Swapping(),
+			MicroVMs:    n.Env.HV.VMCount(),
+			Invocations: n.Invocations(),
+		})
+	}
+	return out
+}
+
+// TotalInvocations sums lifetime invocations across nodes.
+func (c *Cluster) TotalInvocations() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		total += n.Invocations()
+	}
+	return total
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/workloads"
+)
+
+func fireworksCluster(t *testing.T, n int, policy Policy, cfg platform.EnvConfig) *Cluster {
+	t.Helper()
+	c := New(n, policy, cfg, func(env *platform.Env) platform.Platform {
+		return core.New(env, core.Options{})
+	})
+	w := workloads.NetLatency(runtime.LangNode)
+	if err := c.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func invokeName() string { return workloads.NetLatency(runtime.LangNode).Name }
+
+func TestInstallEverywhere(t *testing.T) {
+	c := fireworksCluster(t, 3, RoundRobin, platform.EnvConfig{})
+	for _, n := range c.Nodes() {
+		if !n.Env.Snaps.Has(invokeName()) {
+			t.Errorf("%s missing snapshot", n.Name)
+		}
+	}
+}
+
+func TestRoundRobinBalances(t *testing.T) {
+	c := fireworksCluster(t, 4, RoundRobin, platform.EnvConfig{})
+	params := platform.MustParams(nil)
+	for i := 0; i < 40; i++ {
+		if _, _, err := c.Invoke(invokeName(), params, platform.InvokeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range c.Stats() {
+		if s.Invocations != 10 {
+			t.Errorf("%s served %d, want 10", s.Name, s.Invocations)
+		}
+	}
+	if c.TotalInvocations() != 40 {
+		t.Fatalf("total = %d", c.TotalInvocations())
+	}
+}
+
+func TestLeastMemoryAvoidsLoadedNode(t *testing.T) {
+	c := fireworksCluster(t, 3, LeastMemory, platform.EnvConfig{})
+	// Preload node 0 with a big private allocation.
+	heavy := c.Nodes()[0]
+	heavy.Env.Mem.NewSpace("ballast").AllocPrivate("anon", 1<<20) // 4 GiB in pages
+	params := platform.MustParams(nil)
+	for i := 0; i < 12; i++ {
+		_, node, err := c.Invoke(invokeName(), params, platform.InvokeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node == heavy {
+			t.Fatalf("invocation %d placed on the loaded node", i)
+		}
+	}
+}
+
+func TestSwappingNodesAreSkipped(t *testing.T) {
+	// Tiny hosts: a single ballast allocation pushes a node past its
+	// swap threshold.
+	cfg := platform.EnvConfig{MemBytes: 8 << 30, Swappiness: 0.6}
+	c := fireworksCluster(t, 2, RoundRobin, cfg)
+	drowned := c.Nodes()[1]
+	drowned.Env.Mem.NewSpace("ballast").AllocPrivate("anon", (6<<30)/4096)
+	if !drowned.Env.Mem.Swapping() {
+		t.Fatal("ballast did not push node into swapping")
+	}
+	params := platform.MustParams(nil)
+	for i := 0; i < 6; i++ {
+		_, node, err := c.Invoke(invokeName(), params, platform.InvokeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node == drowned {
+			t.Fatal("placed work on a swapping node")
+		}
+	}
+	// Drown the other node too: the cluster reports itself full.
+	c.Nodes()[0].Env.Mem.NewSpace("ballast").AllocPrivate("anon", (6<<30)/4096)
+	_, _, err := c.Invoke(invokeName(), params, platform.InvokeOptions{})
+	if !errors.Is(err, ErrClusterFull) {
+		t.Fatalf("err = %v, want ErrClusterFull", err)
+	}
+}
+
+func TestLeastInflightUnderConcurrency(t *testing.T) {
+	c := fireworksCluster(t, 3, LeastInflight, platform.EnvConfig{})
+	params := platform.MustParams(nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 60)
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := c.Invoke(invokeName(), params, platform.InvokeOptions{}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c.TotalInvocations() != 60 {
+		t.Fatalf("total = %d", c.TotalInvocations())
+	}
+	// No node should have been starved completely.
+	for _, s := range c.Stats() {
+		if s.Invocations == 0 {
+			t.Errorf("%s served nothing", s.Name)
+		}
+	}
+}
+
+func TestRemoveEverywhere(t *testing.T) {
+	c := fireworksCluster(t, 2, RoundRobin, platform.EnvConfig{})
+	if err := c.Remove(invokeName()); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes() {
+		if n.Env.Snaps.Has(invokeName()) {
+			t.Errorf("%s still has the snapshot", n.Name)
+		}
+	}
+	if _, _, err := c.Invoke(invokeName(), platform.MustParams(nil), platform.InvokeOptions{}); err == nil {
+		t.Fatal("invoke after remove succeeded")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || LeastMemory.String() != "least-memory" ||
+		LeastInflight.String() != "least-inflight" {
+		t.Fatal("policy names")
+	}
+}

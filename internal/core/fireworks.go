@@ -1,0 +1,502 @@
+// Package core implements FIREWORKS, the paper's contribution: a
+// serverless platform built on VM-level post-JIT snapshots.
+//
+// Install phase (§3.2-§3.3): the code annotator instruments the user
+// function; a microVM boots, the runtime loads the annotated module,
+// __fireworks_jit() primes and JIT-compiles every user function, and
+// __fireworks_snapshot() asks the hypervisor to capture the whole guest
+// — kernel, runtime, libraries, heap, and JITted machine code — right
+// before the function entry point.
+//
+// Invoke phase (§3.4-§3.6): the invoker produces the arguments to a
+// per-instance Kafka topic, sets the instance identity in MMDS, restores
+// the snapshot into a fresh microVM inside its own network namespace
+// (identical guest IPs are isolated by per-VM NAT), and execution
+// resumes at __fireworks_continue(): fetch parameters, run the
+// already-JITted entry. There is no cold/warm distinction — every start
+// is a snapshot resume.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/annotate"
+	"repro/internal/lang"
+	"repro/internal/mem"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/sandbox"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+	"repro/internal/vmm"
+)
+
+// snapshotWorkingSetBytes is the resident set a restored snapshot
+// faults in before the entry point can run; it drives the ~12 ms
+// Fireworks start-up.
+const snapshotWorkingSetBytes = 36 << 20
+
+// Options configures a Framework.
+type Options struct {
+	// REAPPrefetch enables REAP-style working-set prefetching on
+	// restore (paper §7: complementary optimization).
+	REAPPrefetch bool
+	// RetainInstances keeps restored microVMs alive after their
+	// invocation completes — required by the consolidation experiments
+	// (§5.4), which pack hundreds of live microVMs onto the host.
+	RetainInstances bool
+}
+
+// Framework is the Fireworks serverless platform.
+type Framework struct {
+	env     *platform.Env
+	opts    Options
+	profile sandbox.Profile
+
+	mu        sync.Mutex
+	fns       map[string]*installed
+	instances map[string][]*Instance
+	nextFcID  int
+}
+
+type installed struct {
+	fn        platform.Function
+	annotated *annotate.Result
+	template  *runtime.SnapshotTemplate
+	report    *platform.InstallReport
+}
+
+// Instance is one live microVM serving (or having served) an
+// invocation.
+type Instance struct {
+	FcID  string
+	Topic string
+	VM    *vmm.MicroVM
+	rt    *runtime.Runtime
+}
+
+// SustainDirty models a long-running instance dirtying additional guest
+// memory over time (page cache, logging, repeated invocations); the
+// consolidation experiment uses it to reproduce §5.4's measured
+// footprints.
+func (i *Instance) SustainDirty(bytes uint64) { i.VM.DirtyDuringExecution(bytes) }
+
+// New creates a Fireworks framework on the shared host environment.
+func New(env *platform.Env, opts Options) *Framework {
+	return &Framework{
+		env:       env,
+		opts:      opts,
+		profile:   sandbox.Profiles(sandbox.ClassFirecracker),
+		fns:       make(map[string]*installed),
+		instances: make(map[string][]*Instance),
+	}
+}
+
+// PlatformName implements platform.Platform.
+func (f *Framework) PlatformName() string { return "fireworks" }
+
+// Install implements platform.Platform: annotate, boot, load, JIT,
+// snapshot (Figure 2 steps 1-4). The report's Duration is the paper's
+// §5.1 "post-JIT snapshot creation time" plus package installation.
+func (f *Framework) Install(fn platform.Function) (*platform.InstallReport, error) {
+	if err := platform.Validate(&fn); err != nil {
+		return nil, err
+	}
+	ann, err := annotate.Annotate(fn.Source, annotate.Options{Entry: fn.EntryName()})
+	if err != nil {
+		return nil, err
+	}
+
+	clock := vclock.New()
+	// ① Create a microVM ready for a runtime.
+	vm, err := f.env.HV.CreateVM(vmm.DefaultConfig(), clock)
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.BootKernel(clock); err != nil {
+		return nil, err
+	}
+	rt := runtime.New(fn.Lang, clock)
+	rt.Boot()
+	// Package installation (npm/pip) dominates install time for
+	// Node.js (§5.1).
+	clock.Advance(rt.Model.PackageInstall)
+
+	// Host bridge for the install phase: priming mode suppresses
+	// externally visible effects; the snapshot request captures the
+	// guest at the exact point §3.3 specifies.
+	report := &platform.InstallReport{Function: fn.Name}
+	inst := &installed{fn: fn, annotated: ann, report: report}
+	installInv := platform.NewInvocation(fn.Name)
+	installInv.Clock = clock
+	binding := &platform.NativeBinding{
+		Profile: f.profile,
+		FS:      vm.FS,
+		Couch:   f.env.Couch,
+		Inv:     installInv,
+		Priming: true,
+		// Priming runs real chains when the callee is already
+		// installed; missing callees resolve to null.
+		Invoke: func(child string, childParams lang.Value, parent *platform.Invocation) (*platform.Invocation, error) {
+			return f.Invoke(child, childParams, platform.InvokeOptions{Parent: parent})
+		},
+	}
+	binding.Install(rt)
+	f.installFireworksNatives(rt, &fireworksBridge{
+		defaultParams: fn.DefaultParams,
+		snapshotRequest: func() error {
+			return f.takeSnapshot(inst, vm, rt, clock)
+		},
+	})
+
+	// ② ③ Load the annotated module and run the JIT driver.
+	if err := rt.LoadModule(ann.Source); err != nil {
+		_ = vm.Stop()
+		return nil, err
+	}
+	if _, err := rt.Call("__fireworks_jit"); err != nil {
+		_ = vm.Stop()
+		return nil, fmt.Errorf("fireworks: install priming of %q: %w", fn.Name, err)
+	}
+	// The @jit annotations force compilation of every user function the
+	// language's JIT supports, not only those the priming run made hot.
+	rt.ForceJITAll()
+	report.JITCompiled = rt.Engine.CompiledFunctions()
+
+	// ④ The annotated code requests the snapshot right before the
+	// original entry point.
+	if _, err := rt.Call("__fireworks_snapshot"); err != nil {
+		_ = vm.Stop()
+		return nil, fmt.Errorf("fireworks: snapshot of %q: %w", fn.Name, err)
+	}
+	if inst.template == nil {
+		_ = vm.Stop()
+		return nil, fmt.Errorf("fireworks: %q never requested its snapshot", fn.Name)
+	}
+	if err := vm.Stop(); err != nil {
+		return nil, err
+	}
+
+	report.Duration = clock.Now()
+	f.mu.Lock()
+	f.fns[fn.Name] = inst
+	f.mu.Unlock()
+	return report, nil
+}
+
+// takeSnapshot captures guest state and memory at the snapshot point.
+func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.Runtime, clock *vclock.Clock) error {
+	template, err := rt.SnapshotTemplate()
+	if err != nil {
+		return err
+	}
+	foot := rt.Footprint()
+	// Region order matters: execution dirties heap pages first.
+	specs := []vmm.RegionSpec{
+		{Kind: mem.KindHeap, Bytes: foot.ModuleCode + rt.Model.HeapPerInvokeBytes + inst.fn.DirtyBytesPerRun},
+		{Kind: mem.KindKernel, Bytes: vmm.CostKernelBytes},
+		{Kind: mem.KindRuntime, Bytes: foot.RuntimeImage},
+		{Kind: mem.KindLibrary, Bytes: foot.Libraries},
+	}
+	if foot.JITCode > 0 {
+		specs = append(specs, vmm.RegionSpec{Kind: mem.KindJITCode, Bytes: foot.JITCode})
+	}
+	snap, err := f.env.HV.TakeSnapshot(vm, vmm.SnapPostJIT, specs, snapshotWorkingSetBytes, template, clock)
+	if err != nil {
+		return err
+	}
+	if err := f.env.Snaps.Put(inst.fn.Name, snap); err != nil {
+		return err
+	}
+	// With remote storage configured, the install also uploads the
+	// image, so later local evictions cost a network fetch instead of a
+	// reinstall (§6).
+	if f.env.RemoteSnaps != nil {
+		f.env.RemoteSnaps.Upload(inst.fn.Name, snap, clock)
+	}
+	inst.template = template
+	inst.report.SnapshotBytes = snap.TotalBytes()
+	return nil
+}
+
+// Invoke implements platform.Platform (Figure 2 steps 5-8). StartMode
+// is ignored: Fireworks always resumes the post-JIT snapshot.
+func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeOptions) (*platform.Invocation, error) {
+	f.mu.Lock()
+	inst, ok := f.fns[name]
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fireworks: no function %q", name)
+	}
+	inv := opts.Parent
+	if inv == nil {
+		inv = platform.NewInvocation(name)
+	}
+
+	snap, err := f.env.Snaps.Get(name)
+	if err != nil && f.env.RemoteSnaps != nil {
+		// Local eviction: pull the image from remote storage (charged
+		// to this invocation's start-up) and repopulate the cache.
+		fetchMark := inv.Clock.Now()
+		snap, err = f.env.RemoteSnaps.Fetch(name, inv.Clock)
+		if err == nil {
+			inv.Breakdown.Add(trace.PhaseStartup, "snapshot-remote-fetch", inv.Clock.Since(fetchMark))
+			if perr := f.env.Snaps.Put(name, snap); perr != nil {
+				return nil, perr
+			}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fireworks: %q: %w (reinstall to regenerate)", name, err)
+	}
+
+	// ⑤ Put the arguments on the per-instance queue before resuming.
+	f.mu.Lock()
+	f.nextFcID++
+	fcID := fmt.Sprintf("fc%06d", f.nextFcID)
+	f.mu.Unlock()
+	topic := fmt.Sprintf("fw-%s-%s", name, fcID)
+	if err := f.env.Bus.CreateTopic(topic, 1); err != nil {
+		return nil, err
+	}
+	paramJSON, err := runtime.EncodeJSON(params)
+	if err != nil {
+		f.env.Bus.DeleteTopic(topic)
+		return nil, fmt.Errorf("fireworks: params: %w", err)
+	}
+	if _, _, err := f.env.Bus.Produce(topic, fcID, paramJSON); err != nil {
+		f.env.Bus.DeleteTopic(topic)
+		return nil, err
+	}
+	inv.ChargeOther("param-queue", f.profile.NetOpBase+platform.PerKB(f.profile, len(paramJSON)))
+
+	// ⑥ ⑦ Network namespace, then restore the snapshot. Any failure
+	// past this point must release the queue and the microVM.
+	startupMark := inv.Clock.Now()
+	vm, err := f.env.HV.Restore(snap, vmm.RestoreOptions{REAPPrefetch: f.opts.REAPPrefetch}, inv.Clock)
+	if err != nil {
+		f.env.Bus.DeleteTopic(topic)
+		return nil, err
+	}
+	if err := f.env.HV.SetupNetwork(vm, snap.GuestIP, inv.Clock); err != nil {
+		_ = vm.Stop()
+		f.env.Bus.DeleteTopic(topic)
+		return nil, err
+	}
+	vm.SetMMDS("fcID", fcID)
+	vm.SetMMDS("topic", topic)
+
+	template := snap.GuestState.(*runtime.SnapshotTemplate)
+	rt, err := runtime.NewFromSnapshot(template, inv.Clock)
+	if err != nil {
+		_ = vm.Stop()
+		f.env.Bus.DeleteTopic(topic)
+		return nil, err
+	}
+	inv.Breakdown.Add(trace.PhaseStartup, "snapshot-restore", inv.Clock.Since(startupMark))
+
+	binding := &platform.NativeBinding{
+		Profile: f.profile,
+		FS:      vm.FS,
+		Couch:   f.env.Couch,
+		Inv:     inv,
+		Invoke: func(child string, childParams lang.Value, parent *platform.Invocation) (*platform.Invocation, error) {
+			return f.Invoke(child, childParams, platform.InvokeOptions{Parent: parent})
+		},
+	}
+	binding.Install(rt)
+	f.installFireworksNatives(rt, &fireworksBridge{
+		defaultParams: inst.fn.DefaultParams,
+		fetchParams: func() (lang.Value, error) {
+			// The resumed clone identifies itself via MMDS, then reads
+			// exactly one message from its topic (kafkacat -o -1 -c 1).
+			inv.ChargeOther("mmds", vmm.CostMMDSAccess)
+			topicName, ok := vm.MMDS("topic")
+			if !ok {
+				return nil, fmt.Errorf("fireworks: MMDS has no topic")
+			}
+			msg, err := f.env.Bus.ConsumeLatest(topicName)
+			if err != nil {
+				return nil, err
+			}
+			inv.ChargeOther("param-fetch", f.profile.NetOpBase+platform.PerKB(f.profile, len(msg.Value)))
+			return runtime.DecodeJSON(msg.Value)
+		},
+	})
+
+	// ⑧ Resume at the post-snapshot continuation.
+	instance := &Instance{FcID: fcID, Topic: topic, VM: vm, rt: rt}
+	attributedBefore := inv.Breakdown.Total()
+	mark := inv.Clock.Now()
+	result, err := rt.Call("__fireworks_continue")
+	span := inv.Clock.Since(mark)
+	inv.Breakdown.Add(trace.PhaseExec, "exec", span-(inv.Breakdown.Total()-attributedBefore))
+	if err != nil {
+		_ = vm.Stop()
+		f.env.Bus.DeleteTopic(topic)
+		return inv, fmt.Errorf("fireworks: %s: %w", name, err)
+	}
+	inv.Result = result
+	inv.Response = responseOrDefault(inv, result, f.profile)
+	inv.Logs += rt.Stdout.String()
+	inv.Mode = platform.ModeWarm // every Fireworks start behaves like (better than) warm
+	inv.SandboxID = vm.ID
+
+	// Execution dirties the heap pages of the shared image (CoW).
+	vm.DirtyKind(mem.KindHeap, rt.Model.HeapPerInvokeBytes+inst.fn.DirtyBytesPerRun)
+	// Numba re-links its duplicated MCJIT modules on resume, CoW-
+	// splitting the JIT-code pages — the reason §5.5.2 sees no post-JIT
+	// memory win for Python.
+	if rt.Model.JITCodeDuplication > 1 {
+		vm.DirtyKind(mem.KindJITCode, rt.JITCodeBytes())
+	}
+
+	if f.opts.RetainInstances {
+		f.mu.Lock()
+		f.instances[name] = append(f.instances[name], instance)
+		f.mu.Unlock()
+	} else {
+		if err := vm.Stop(); err != nil {
+			return inv, err
+		}
+		f.env.Bus.DeleteTopic(topic)
+	}
+	return inv, nil
+}
+
+// Remove implements platform.Platform.
+func (f *Framework) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.fns[name]; !ok {
+		return fmt.Errorf("fireworks: no function %q", name)
+	}
+	for _, instance := range f.instances[name] {
+		if err := instance.VM.Stop(); err != nil {
+			return err
+		}
+		f.env.Bus.DeleteTopic(instance.Topic)
+	}
+	delete(f.instances, name)
+	f.env.Snaps.Remove(name)
+	if f.env.RemoteSnaps != nil {
+		f.env.RemoteSnaps.Delete(name)
+	}
+	delete(f.fns, name)
+	return nil
+}
+
+// Spaces returns the address spaces of the function's retained
+// instances (implements the experiment harness's MemoryReporter).
+func (f *Framework) Spaces(name string) []*mem.Space {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []*mem.Space
+	for _, instance := range f.instances[name] {
+		out = append(out, instance.VM.Space())
+	}
+	return out
+}
+
+// Instances returns the retained live instances of a function.
+func (f *Framework) Instances(name string) []*Instance {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Instance{}, f.instances[name]...)
+}
+
+// StopInstances tears down all retained instances of a function.
+func (f *Framework) StopInstances(name string) error {
+	f.mu.Lock()
+	instances := f.instances[name]
+	delete(f.instances, name)
+	f.mu.Unlock()
+	for _, instance := range instances {
+		if err := instance.VM.Stop(); err != nil {
+			return err
+		}
+		f.env.Bus.DeleteTopic(instance.Topic)
+	}
+	return nil
+}
+
+// RegenerateSnapshot re-runs the install phase for a function,
+// replacing its snapshot image. The paper's §6 proposes periodic
+// regeneration to restore address-space layout entropy across clones.
+func (f *Framework) RegenerateSnapshot(name string) (*platform.InstallReport, error) {
+	f.mu.Lock()
+	inst, ok := f.fns[name]
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fireworks: no function %q", name)
+	}
+	return f.Install(inst.fn)
+}
+
+// SnapshotInfo reports a function's snapshot size and sharer count.
+func (f *Framework) SnapshotInfo(name string) (bytes uint64, sharers int, err error) {
+	snap, err := f.env.Snaps.Get(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	return snap.TotalBytes(), snap.Sharers(), nil
+}
+
+// fireworksBridge holds the install/invoke host callbacks exposed to
+// the guest as __fireworks_* natives.
+type fireworksBridge struct {
+	defaultParams   map[string]any
+	snapshotRequest func() error
+	fetchParams     func() (lang.Value, error)
+}
+
+// installFireworksNatives binds the Fireworks host bridge into a guest.
+func (f *Framework) installFireworksNatives(rt *runtime.Runtime, bridge *fireworksBridge) {
+	natives := map[string]*lang.Native{
+		"__fireworks_default_params": {
+			Name: "__fireworks_default_params", Arity: 0,
+			Fn: func(args []lang.Value) (lang.Value, error) {
+				return platform.ParamsValue(bridge.defaultParams)
+			},
+		},
+		"__fireworks_snapshot_request": {
+			Name: "__fireworks_snapshot_request", Arity: 0,
+			Fn: func(args []lang.Value) (lang.Value, error) {
+				if bridge.snapshotRequest == nil {
+					// Restored clones resume *after* the snapshot point;
+					// the request is a no-op there.
+					return nil, nil
+				}
+				return nil, bridge.snapshotRequest()
+			},
+		},
+		"__fireworks_fetch_params": {
+			Name: "__fireworks_fetch_params", Arity: 0,
+			Fn: func(args []lang.Value) (lang.Value, error) {
+				if bridge.fetchParams == nil {
+					// During install the driver never reaches the fetch
+					// (the host stops after the snapshot), but keep a
+					// sane default for direct __fireworks_main runs.
+					return platform.ParamsValue(bridge.defaultParams)
+				}
+				return bridge.fetchParams()
+			},
+		},
+	}
+	rt.InstallNatives(natives)
+}
+
+// responseOrDefault wraps a function result as the delivered response
+// when the guest did not call http_respond itself.
+func responseOrDefault(inv *platform.Invocation, result lang.Value, profile sandbox.Profile) *platform.Response {
+	if inv.Response != nil {
+		return inv.Response
+	}
+	body := lang.Format(result)
+	inv.ChargeOther("response", profile.NetOpBase+platform.PerKB(profile, len(body)))
+	return &platform.Response{Status: 200, Body: body}
+}
+
+// Statically assert the Platform contract.
+var _ platform.Platform = (*Framework)(nil)

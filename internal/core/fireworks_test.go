@@ -1,0 +1,378 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/workloads"
+)
+
+func newFW(t *testing.T, opts core.Options) (*platform.Env, *core.Framework) {
+	t.Helper()
+	env := platform.NewEnv(platform.EnvConfig{})
+	return env, core.New(env, opts)
+}
+
+func TestInstallCreatesPostJITSnapshot(t *testing.T) {
+	env, fw := newFW(t, core.Options{})
+	w := workloads.Fact(runtime.LangPython)
+	report, err := fw.Install(w.Function)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SnapshotBytes == 0 {
+		t.Fatal("no snapshot bytes recorded")
+	}
+	if len(report.JITCompiled) == 0 {
+		t.Fatal("install compiled nothing; post-JIT snapshot is empty of code")
+	}
+	if !env.Snaps.Has(w.Name) {
+		t.Fatal("snapshot not in store")
+	}
+	if report.Duration <= 0 {
+		t.Fatal("install charged no time")
+	}
+	// §5.1: snapshot creation (excluding package install / priming) is
+	// sub-second; whole install includes pip and stays within seconds.
+	if report.Duration > 30*time.Second {
+		t.Fatalf("install took %v, implausible", report.Duration)
+	}
+	// Install must not leak the install VM.
+	if env.HV.VMCount() != 0 {
+		t.Fatalf("%d VMs alive after install", env.HV.VMCount())
+	}
+}
+
+func TestInvokeResumesSnapshot(t *testing.T) {
+	env, fw := newFW(t, core.Options{})
+	w := workloads.Fact(runtime.LangNode)
+	if _, err := fw.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := fw.Invoke(w.Name, platform.MustParams(map[string]any{"n": 101, "rounds": 3}), platform.InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Result == nil {
+		t.Fatal("no result")
+	}
+	if inv.Response == nil || inv.Response.Status != 200 {
+		t.Fatalf("bad response: %+v", inv.Response)
+	}
+	if !strings.Contains(inv.Response.Body, "factored 3 ints") {
+		t.Fatalf("unexpected body %q", inv.Response.Body)
+	}
+	// Start-up must be snapshot-scale (~12 ms), nowhere near a boot.
+	if su := inv.Breakdown.Startup(); su > 50*time.Millisecond || su <= 0 {
+		t.Fatalf("startup = %v, want ~12ms", su)
+	}
+	if inv.Breakdown.Exec() <= 0 {
+		t.Fatal("no exec time recorded")
+	}
+	// Default: instances are torn down after the invocation.
+	if env.HV.VMCount() != 0 {
+		t.Fatalf("%d VMs alive after invoke", env.HV.VMCount())
+	}
+}
+
+func TestInvokeUsesJITFromSnapshot(t *testing.T) {
+	// The same workload on Fireworks (post-JIT) must execute
+	// dramatically faster than a Python cold start on a baseline,
+	// because the snapshot contains Numba-compiled code.
+	env := platform.NewEnv(platform.EnvConfig{})
+	fw := core.New(env, core.Options{})
+	fc := platform.NewFirecracker(env, platform.FCNoSnapshot)
+	w := workloads.Fact(runtime.LangPython)
+	if _, err := fw.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	params := platform.MustParams(map[string]any{"n": 9999991, "rounds": 10})
+	fwInv, err := fw.Invoke(w.Name, params, platform.InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcInv, err := fc.Invoke(w.Name, params, platform.InvokeOptions{Mode: platform.ModeCold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwInv.Result != fcInv.Result {
+		t.Fatalf("results differ: fireworks=%v firecracker=%v", fwInv.Result, fcInv.Result)
+	}
+	execRatio := float64(fcInv.Breakdown.Exec()) / float64(fwInv.Breakdown.Exec())
+	if execRatio < 5 {
+		t.Fatalf("python exec speedup = %.1fx, want >5x (interp vs Numba-JITted)", execRatio)
+	}
+	startRatio := float64(fcInv.Breakdown.Startup()) / float64(fwInv.Breakdown.Startup())
+	if startRatio < 30 {
+		t.Fatalf("startup speedup = %.1fx, want >30x (boot vs snapshot restore)", startRatio)
+	}
+}
+
+func TestRetainInstancesSharesMemory(t *testing.T) {
+	env, fw := newFW(t, core.Options{RetainInstances: true})
+	w := workloads.Fact(runtime.LangNode)
+	if _, err := fw.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	params := platform.MustParams(map[string]any{"n": 101, "rounds": 2})
+	const n = 8
+	for i := 0; i < n; i++ {
+		if _, err := fw.Invoke(w.Name, params, platform.InvokeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	instances := fw.Instances(w.Name)
+	if len(instances) != n {
+		t.Fatalf("retained %d instances, want %d", len(instances), n)
+	}
+	_, sharers, err := fw.SnapshotInfo(w.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharers != n {
+		t.Fatalf("snapshot sharers = %d, want %d", sharers, n)
+	}
+	// PSS of a sharing instance must be far below its RSS.
+	sp := instances[0].VM.Space()
+	if pss, rss := sp.PSS(), sp.RSS(); pss > 0.6*float64(rss) {
+		t.Fatalf("PSS %.0f not much below RSS %d; snapshot pages not shared", pss, rss)
+	}
+	if err := fw.StopInstances(w.Name); err != nil {
+		t.Fatal(err)
+	}
+	if env.HV.VMCount() != 0 {
+		t.Fatalf("%d VMs alive after StopInstances", env.HV.VMCount())
+	}
+}
+
+func TestFunctionChainsShareBreakdown(t *testing.T) {
+	env, fw := newFW(t, core.Options{})
+	_ = env
+	for _, w := range workloads.AlexaSkills() {
+		// Install skills before the frontend so priming chains resolve.
+		defer func(name string) { _ = fw.Remove(name) }(w.Name)
+	}
+	apps := workloads.AlexaSkills()
+	for i := len(apps) - 1; i >= 0; i-- { // skills first, frontend last
+		if _, err := fw.Install(apps[i].Function); err != nil {
+			t.Fatalf("install %s: %v", apps[i].Name, err)
+		}
+	}
+	inv, err := fw.Invoke(workloads.NameAlexaFrontend,
+		platform.MustParams(map[string]any{"text": "remind me about the dentist", "action": "add",
+			"id": "d1", "item": "dentist", "place": "clinic", "url": "https://cal/d1"}),
+		platform.InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inv.Response.Body, "reminder") {
+		t.Fatalf("frontend did not dispatch to reminder: %s", inv.Response.Body)
+	}
+	// The chain ran two functions; combined start-up covers two resumes.
+	if inv.Breakdown.Startup() < 15*time.Millisecond {
+		t.Fatalf("chain startup %v too small for two snapshot resumes", inv.Breakdown.Startup())
+	}
+}
+
+func TestSnapshotEvictionSurfacesError(t *testing.T) {
+	env := platform.NewEnv(platform.EnvConfig{SnapshotDiskBudget: 300 << 20})
+	fw := core.New(env, core.Options{})
+	a := workloads.Fact(runtime.LangNode)
+	b := workloads.NetLatency(runtime.LangNode)
+	if _, err := fw.Install(a.Function); err != nil {
+		t.Fatal(err)
+	}
+	// Installing b evicts a (each image ~240 MiB > half the budget).
+	if _, err := fw.Install(b.Function); err != nil {
+		t.Fatal(err)
+	}
+	if env.Snaps.Evictions() == 0 {
+		t.Fatal("no evictions under a tight budget")
+	}
+	_, err := fw.Invoke(a.Name, platform.MustParams(nil), platform.InvokeOptions{})
+	if err == nil || !strings.Contains(err.Error(), "reinstall") {
+		t.Fatalf("err = %v, want eviction error", err)
+	}
+	// Reinstall regenerates the snapshot and invocation works again.
+	if _, err := fw.RegenerateSnapshot(a.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Invoke(a.Name, platform.MustParams(map[string]any{"n": 35, "rounds": 1}), platform.InvokeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	// Many goroutines resume the same snapshot at once: unique fcIDs,
+	// unique topics, isolated namespaces, correct results.
+	env, fw := newFW(t, core.Options{})
+	w := workloads.Fact(runtime.LangNode)
+	if _, err := fw.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	const parallel = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, parallel)
+	sandboxes := make(chan string, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			inv, err := fw.Invoke(w.Name,
+				platform.MustParams(map[string]any{"n": 95 + n, "rounds": 1}),
+				platform.InvokeOptions{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if inv.Result == nil {
+				errs <- fmt.Errorf("nil result")
+				return
+			}
+			sandboxes <- inv.SandboxID
+		}(int64(i))
+	}
+	wg.Wait()
+	close(errs)
+	close(sandboxes)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for id := range sandboxes {
+		if seen[id] {
+			t.Fatalf("sandbox %s served two invocations", id)
+		}
+		seen[id] = true
+	}
+	if env.HV.VMCount() != 0 {
+		t.Fatalf("%d VMs leaked", env.HV.VMCount())
+	}
+	if env.Router.NamespaceCount() != 0 {
+		t.Fatalf("%d namespaces leaked", env.Router.NamespaceCount())
+	}
+}
+
+func TestRegenerateSnapshotChangesLayoutSeed(t *testing.T) {
+	// §6: clones of one snapshot share their address-space layout;
+	// periodic regeneration restores entropy across generations.
+	env, fw := newFW(t, core.Options{})
+	w := workloads.NetLatency(runtime.LangNode)
+	if _, err := fw.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	first, err := env.Snaps.Get(w.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.LayoutSeed == 0 {
+		t.Fatal("no layout seed")
+	}
+	if _, err := fw.RegenerateSnapshot(w.Name); err != nil {
+		t.Fatal(err)
+	}
+	second, err := env.Snaps.Get(w.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second == first {
+		t.Fatal("regeneration kept the old image")
+	}
+	if second.LayoutSeed == first.LayoutSeed {
+		t.Fatal("regenerated snapshot has the same layout (no fresh ASLR)")
+	}
+	// The function still works after regeneration.
+	if _, err := fw.Invoke(w.Name, platform.MustParams(nil), platform.InvokeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteStorageServesEvictedSnapshots(t *testing.T) {
+	// §6 extension: with remote object storage behind the bounded local
+	// store, an evicted snapshot costs a network fetch, not an error or
+	// a reinstall.
+	env := platform.NewEnv(platform.EnvConfig{
+		SnapshotDiskBudget:    300 << 20, // one image at a time
+		RemoteSnapshotStorage: true,
+	})
+	fw := core.New(env, core.Options{})
+	a := workloads.Fact(runtime.LangNode)
+	b := workloads.NetLatency(runtime.LangNode)
+	if _, err := fw.Install(a.Function); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Install(b.Function); err != nil {
+		t.Fatal(err)
+	}
+	if env.Snaps.Has(a.Name) {
+		t.Fatal("a should be locally evicted by b's install")
+	}
+	inv, err := fw.Invoke(a.Name, platform.MustParams(map[string]any{"n": 35, "rounds": 1}),
+		platform.InvokeOptions{})
+	if err != nil {
+		t.Fatalf("evicted function failed despite remote storage: %v", err)
+	}
+	// The fetch shows up as a long (but sub-second) start-up.
+	if su := inv.Breakdown.Startup(); su < 100*time.Millisecond || su > time.Second {
+		t.Fatalf("startup with remote fetch = %v, want ~200ms", su)
+	}
+	if env.RemoteSnaps.Fetches() != 1 {
+		t.Fatalf("fetches = %d", env.RemoteSnaps.Fetches())
+	}
+	// The image is cached locally again: the next invoke is fast...
+	inv2, err := fw.Invoke(a.Name, platform.MustParams(map[string]any{"n": 35, "rounds": 1}),
+		platform.InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv2.Breakdown.Startup() > 50*time.Millisecond {
+		t.Fatalf("second startup = %v, want local-resume speed", inv2.Breakdown.Startup())
+	}
+	// ...and b was evicted in turn, retrievable remotely as well.
+	if _, err := fw.Invoke(b.Name, platform.MustParams(nil), platform.InvokeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Remove cleans the remote copy too.
+	if err := fw.Remove(a.Name); err != nil {
+		t.Fatal(err)
+	}
+	if env.RemoteSnaps.Has(a.Name) {
+		t.Fatal("remote copy survived Remove")
+	}
+}
+
+func TestREAPPrefetchSpeedsRestore(t *testing.T) {
+	envA, fwA := newFW(t, core.Options{})
+	envB, fwB := newFW(t, core.Options{REAPPrefetch: true})
+	_ = envA
+	_ = envB
+	w := workloads.NetLatency(runtime.LangNode)
+	if _, err := fwA.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fwB.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	p := platform.MustParams(nil)
+	a, err := fwA.Invoke(w.Name, p, platform.InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fwB.Invoke(w.Name, p, platform.InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Breakdown.Startup() >= a.Breakdown.Startup() {
+		t.Fatalf("REAP startup %v not faster than demand paging %v",
+			b.Breakdown.Startup(), a.Breakdown.Startup())
+	}
+}

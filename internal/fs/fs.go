@@ -1,0 +1,256 @@
+// Package fs implements the in-memory virtual filesystem used by
+// simulated guests and containers: a plain hierarchical FS plus an
+// overlay filesystem (upper/lower with copy-up) matching how OpenWhisk
+// containers layer a writable upper directory over a read-only image.
+//
+// The package stores data only; I/O *cost* is charged by the sandbox
+// layer, which knows whether an operation crosses a 9p boundary
+// (microVM), a Sentry/Gofer relay (gVisor), or goes straight to the host
+// page cache (container).
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by filesystem operations.
+var (
+	ErrNotExist = errors.New("fs: file does not exist")
+	ErrExist    = errors.New("fs: file already exists")
+	ErrIsDir    = errors.New("fs: is a directory")
+	ErrNotDir   = errors.New("fs: not a directory")
+	ErrReadOnly = errors.New("fs: read-only filesystem")
+)
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Name  string
+	Size  int64
+	IsDir bool
+}
+
+// FS is the interface implemented by both the plain in-memory filesystem
+// and the overlay filesystem.
+type FS interface {
+	// WriteFile creates or replaces the file at p with data, creating
+	// parent directories as needed.
+	WriteFile(p string, data []byte) error
+	// ReadFile returns the contents of the file at p.
+	ReadFile(p string) ([]byte, error)
+	// Append appends data to the file at p, creating it if absent.
+	Append(p string, data []byte) error
+	// Stat describes the file or directory at p.
+	Stat(p string) (FileInfo, error)
+	// Remove deletes the file at p (not directories).
+	Remove(p string) error
+	// Mkdir creates the directory at p and any missing parents.
+	Mkdir(p string) error
+	// ReadDir lists the directory at p in lexical order.
+	ReadDir(p string) ([]FileInfo, error)
+}
+
+// node is a file or directory in a MemFS.
+type node struct {
+	name     string
+	isDir    bool
+	data     []byte
+	children map[string]*node
+}
+
+// MemFS is a plain in-memory filesystem. It is safe for concurrent use.
+type MemFS struct {
+	mu   sync.RWMutex
+	root *node
+}
+
+// NewMemFS returns an empty filesystem with a root directory.
+func NewMemFS() *MemFS {
+	return &MemFS{root: &node{name: "/", isDir: true, children: make(map[string]*node)}}
+}
+
+// clean normalizes p to a rooted, slash-separated path and splits it.
+func splitPath(p string) []string {
+	p = path.Clean("/" + p)
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(p, "/"), "/")
+}
+
+func (m *MemFS) lookup(parts []string) (*node, error) {
+	n := m.root
+	for _, part := range parts {
+		if !n.isDir {
+			return nil, ErrNotDir
+		}
+		child, ok := n.children[part]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		n = child
+	}
+	return n, nil
+}
+
+// mkdirAll walks/creates directories for parts and returns the last dir.
+func (m *MemFS) mkdirAll(parts []string) (*node, error) {
+	n := m.root
+	for _, part := range parts {
+		if !n.isDir {
+			return nil, ErrNotDir
+		}
+		child, ok := n.children[part]
+		if !ok {
+			child = &node{name: part, isDir: true, children: make(map[string]*node)}
+			n.children[part] = child
+		}
+		n = child
+	}
+	if !n.isDir {
+		return nil, ErrNotDir
+	}
+	return n, nil
+}
+
+// WriteFile implements FS.
+func (m *MemFS) WriteFile(p string, data []byte) error {
+	parts := splitPath(p)
+	if len(parts) == 0 {
+		return ErrIsDir
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir, err := m.mkdirAll(parts[:len(parts)-1])
+	if err != nil {
+		return err
+	}
+	name := parts[len(parts)-1]
+	if existing, ok := dir.children[name]; ok && existing.isDir {
+		return ErrIsDir
+	}
+	dir.children[name] = &node{name: name, data: append([]byte(nil), data...)}
+	return nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(p string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, err := m.lookup(splitPath(p))
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", p, err)
+	}
+	if n.isDir {
+		return nil, ErrIsDir
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// Append implements FS.
+func (m *MemFS) Append(p string, data []byte) error {
+	parts := splitPath(p)
+	if len(parts) == 0 {
+		return ErrIsDir
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir, err := m.mkdirAll(parts[:len(parts)-1])
+	if err != nil {
+		return err
+	}
+	name := parts[len(parts)-1]
+	n, ok := dir.children[name]
+	if !ok {
+		n = &node{name: name}
+		dir.children[name] = n
+	}
+	if n.isDir {
+		return ErrIsDir
+	}
+	n.data = append(n.data, data...)
+	return nil
+}
+
+// Stat implements FS.
+func (m *MemFS) Stat(p string) (FileInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, err := m.lookup(splitPath(p))
+	if err != nil {
+		return FileInfo{}, fmt.Errorf("stat %s: %w", p, err)
+	}
+	return FileInfo{Name: n.name, Size: int64(len(n.data)), IsDir: n.isDir}, nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(p string) error {
+	parts := splitPath(p)
+	if len(parts) == 0 {
+		return ErrIsDir
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir, err := m.lookup(parts[:len(parts)-1])
+	if err != nil {
+		return err
+	}
+	name := parts[len(parts)-1]
+	n, ok := dir.children[name]
+	if !ok {
+		return ErrNotExist
+	}
+	if n.isDir && len(n.children) > 0 {
+		return fmt.Errorf("remove %s: directory not empty", p)
+	}
+	delete(dir.children, name)
+	return nil
+}
+
+// Mkdir implements FS.
+func (m *MemFS) Mkdir(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, err := m.mkdirAll(splitPath(p))
+	return err
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(p string) ([]FileInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, err := m.lookup(splitPath(p))
+	if err != nil {
+		return nil, fmt.Errorf("readdir %s: %w", p, err)
+	}
+	if !n.isDir {
+		return nil, ErrNotDir
+	}
+	infos := make([]FileInfo, 0, len(n.children))
+	for _, c := range n.children {
+		infos = append(infos, FileInfo{Name: c.name, Size: int64(len(c.data)), IsDir: c.isDir})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// TotalBytes returns the sum of all file sizes, used to model disk usage
+// of snapshot files and container images.
+func (m *MemFS) TotalBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		total += int64(len(n.data))
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(m.root)
+	return total
+}

@@ -1,0 +1,68 @@
+package lang
+
+import "fmt"
+
+// maxCopyDepth bounds DeepCopy against pathological or cyclic data.
+const maxCopyDepth = 64
+
+// DeepCopy clones a FaaSLang value so that mutations of the copy never
+// affect the original. It is how snapshot restores give every resumed
+// microVM its own copy-on-write view of guest state: immutable values
+// (numbers, strings, functions) are shared, mutable containers are
+// copied. Host natives are shared as-is (the framework re-binds them per
+// instance anyway).
+func DeepCopy(v Value) (Value, error) { return deepCopy(v, 0) }
+
+func deepCopy(v Value, depth int) (Value, error) {
+	if depth > maxCopyDepth {
+		return nil, fmt.Errorf("lang: DeepCopy depth limit exceeded (cyclic value?)")
+	}
+	switch v := v.(type) {
+	case nil, bool, int64, float64, string, *Native:
+		return v, nil
+	case *List:
+		items := make([]Value, len(v.Items))
+		for i, item := range v.Items {
+			c, err := deepCopy(item, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = c
+		}
+		return &List{Items: items}, nil
+	case *Map:
+		m := NewMap()
+		for k, item := range v.Items {
+			c, err := deepCopy(item, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			m.Items[k] = c
+		}
+		return m, nil
+	default:
+		// Function values (closures) and other opaque types are
+		// immutable from the guest's perspective; share them.
+		return v, nil
+	}
+}
+
+// DeepCopyGlobals clones a globals map, skipping natives when
+// skipNatives is set (the framework re-installs host bindings on
+// restore, mirroring how a resumed VM re-reads MMDS).
+func DeepCopyGlobals(globals map[string]Value, skipNatives bool) (map[string]Value, error) {
+	out := make(map[string]Value, len(globals))
+	for k, v := range globals {
+		if skipNatives {
+			if _, isNative := v.(*Native); isNative {
+				continue
+			}
+		}
+		c, err := DeepCopy(v)
+		if err != nil {
+			return nil, fmt.Errorf("global %q: %w", k, err)
+		}
+		out[k] = c
+	}
+	return out, nil
+}

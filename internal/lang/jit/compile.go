@@ -1,0 +1,388 @@
+package jit
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/lang/bytecode"
+	"repro/internal/lang/vm"
+)
+
+// state is the register file of one compiled-function activation.
+type state struct {
+	v      *vm.VM
+	locals []lang.Value
+	stack  []lang.Value
+	pc     int
+	done   bool
+	ret    lang.Value
+	err    error
+}
+
+func (s *state) push(v lang.Value) { s.stack = append(s.stack, v) }
+
+func (s *state) pop() lang.Value {
+	v := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	return v
+}
+
+func (s *state) fail(line int, err error) {
+	s.err = fmt.Errorf("line %d: %w", line, err)
+	s.done = true
+}
+
+// step executes one translated instruction and advances s.pc.
+type step func(s *state)
+
+// compiledFunc is the JITted form of one function: a direct-threaded
+// slice of closures plus the entry type guards it was specialized for.
+type compiledFunc struct {
+	fn     *bytecode.Function
+	guards []lang.Type
+	steps  []step
+	cats   []bytecode.Category
+}
+
+// Run implements vm.Compiled.
+func (c *compiledFunc) Run(v *vm.VM, args []lang.Value) (lang.Value, bool, error) {
+	if c.guards != nil {
+		if len(args) != len(c.guards) {
+			return nil, true, nil
+		}
+		for i := range args {
+			if lang.TypeOf(args[i]) != c.guards[i] {
+				return nil, true, nil
+			}
+		}
+	}
+	s := &state{
+		v:      v,
+		locals: make([]lang.Value, c.fn.NumLocals),
+		stack:  make([]lang.Value, 0, 16),
+	}
+	copy(s.locals, args)
+	meter := v.Meter
+	for !s.done {
+		if s.pc >= len(c.steps) {
+			break // fall off the end: implicit return null
+		}
+		if err := v.CountStep(); err != nil {
+			return nil, false, err
+		}
+		meter.Charge(vm.TierJIT, c.cats[s.pc], 1)
+		c.steps[s.pc](s)
+	}
+	if s.err != nil {
+		return nil, false, fmt.Errorf("jit %s: %w", c.fn.Name, s.err)
+	}
+	return s.ret, false, nil
+}
+
+// compile translates fn's bytecode into direct-threaded closures.
+func compile(fn *bytecode.Function, guards []lang.Type) *compiledFunc {
+	c := &compiledFunc{
+		fn:     fn,
+		guards: guards,
+		steps:  make([]step, len(fn.Code)),
+		cats:   make([]bytecode.Category, len(fn.Code)),
+	}
+	for i, ins := range fn.Code {
+		c.cats[i] = bytecode.CategoryOf(ins.Op)
+		c.steps[i] = translate(fn, ins)
+	}
+	return c
+}
+
+func translate(fn *bytecode.Function, ins bytecode.Instr) step {
+	a := ins.A
+	line := ins.Line
+	switch ins.Op {
+	case bytecode.OpConst:
+		v := fn.Consts[a]
+		return func(s *state) { s.push(v); s.pc++ }
+	case bytecode.OpNull:
+		return func(s *state) { s.push(nil); s.pc++ }
+	case bytecode.OpTrue:
+		return func(s *state) { s.push(true); s.pc++ }
+	case bytecode.OpFalse:
+		return func(s *state) { s.push(false); s.pc++ }
+	case bytecode.OpPop:
+		return func(s *state) { s.pop(); s.pc++ }
+	case bytecode.OpDup:
+		return func(s *state) { s.push(s.stack[len(s.stack)-1]); s.pc++ }
+	case bytecode.OpLoadLocal:
+		return func(s *state) { s.push(s.locals[a]); s.pc++ }
+	case bytecode.OpStoreLocal:
+		return func(s *state) { s.locals[a] = s.pop(); s.pc++ }
+	case bytecode.OpLoadGlobal:
+		name := fn.Consts[a].(string)
+		return func(s *state) {
+			v, ok := s.v.Globals[name]
+			if !ok {
+				s.fail(line, fmt.Errorf("undefined variable %q", name))
+				return
+			}
+			s.push(v)
+			s.pc++
+		}
+	case bytecode.OpStoreGlobal:
+		name := fn.Consts[a].(string)
+		return func(s *state) { s.v.Globals[name] = s.pop(); s.pc++ }
+
+	case bytecode.OpAdd:
+		return func(s *state) {
+			right := s.pop()
+			left := s.pop()
+			// Speculative integer fast path — the common case in the
+			// numeric benchmarks the JIT exists for.
+			if li, ok := left.(int64); ok {
+				if ri, ok := right.(int64); ok {
+					s.push(li + ri)
+					s.pc++
+					return
+				}
+			}
+			v, err := vm.BinaryOp(bytecode.OpAdd, left, right)
+			if err != nil {
+				s.fail(line, err)
+				return
+			}
+			s.push(v)
+			s.pc++
+		}
+	case bytecode.OpSub:
+		return intFastBinop(bytecode.OpSub, line, func(a, b int64) int64 { return a - b })
+	case bytecode.OpMul:
+		return intFastBinop(bytecode.OpMul, line, func(a, b int64) int64 { return a * b })
+	case bytecode.OpDiv, bytecode.OpMod:
+		op := ins.Op
+		return func(s *state) {
+			right := s.pop()
+			left := s.pop()
+			v, err := vm.BinaryOp(op, left, right)
+			if err != nil {
+				s.fail(line, err)
+				return
+			}
+			s.push(v)
+			s.pc++
+		}
+	case bytecode.OpLt:
+		return intFastCompare(bytecode.OpLt, line, func(a, b int64) bool { return a < b })
+	case bytecode.OpLte:
+		return intFastCompare(bytecode.OpLte, line, func(a, b int64) bool { return a <= b })
+	case bytecode.OpGt:
+		return intFastCompare(bytecode.OpGt, line, func(a, b int64) bool { return a > b })
+	case bytecode.OpGte:
+		return intFastCompare(bytecode.OpGte, line, func(a, b int64) bool { return a >= b })
+	case bytecode.OpEq:
+		return func(s *state) {
+			right := s.pop()
+			left := s.pop()
+			s.push(lang.Equal(left, right))
+			s.pc++
+		}
+	case bytecode.OpNeq:
+		return func(s *state) {
+			right := s.pop()
+			left := s.pop()
+			s.push(!lang.Equal(left, right))
+			s.pc++
+		}
+	case bytecode.OpNeg:
+		return func(s *state) {
+			switch n := s.pop().(type) {
+			case int64:
+				s.push(-n)
+			case float64:
+				s.push(-n)
+			default:
+				s.fail(line, fmt.Errorf("cannot negate %s", lang.TypeOf(n)))
+				return
+			}
+			s.pc++
+		}
+	case bytecode.OpNot:
+		return func(s *state) { s.push(!lang.Truthy(s.pop())); s.pc++ }
+
+	case bytecode.OpJump, bytecode.OpLoop:
+		return func(s *state) { s.pc = a }
+	case bytecode.OpJumpIfFalse:
+		return func(s *state) {
+			if !lang.Truthy(s.pop()) {
+				s.pc = a
+			} else {
+				s.pc++
+			}
+		}
+	case bytecode.OpJumpIfTrue:
+		return func(s *state) {
+			if lang.Truthy(s.pop()) {
+				s.pc = a
+			} else {
+				s.pc++
+			}
+		}
+
+	case bytecode.OpCall:
+		return func(s *state) {
+			args := make([]lang.Value, a)
+			for i := a - 1; i >= 0; i-- {
+				args[i] = s.pop()
+			}
+			callee := s.pop()
+			v, err := s.v.CallValue(callee, args)
+			if err != nil {
+				s.err = err
+				s.done = true
+				return
+			}
+			s.push(v)
+			s.pc++
+		}
+	case bytecode.OpReturn:
+		return func(s *state) {
+			s.ret = s.pop()
+			s.done = true
+		}
+
+	case bytecode.OpMakeList:
+		return func(s *state) {
+			items := make([]lang.Value, a)
+			for i := a - 1; i >= 0; i-- {
+				items[i] = s.pop()
+			}
+			s.push(&lang.List{Items: items})
+			s.pc++
+		}
+	case bytecode.OpMakeMap:
+		return func(s *state) {
+			m := lang.NewMap()
+			pairs := make([]lang.Value, 2*a)
+			for i := 2*a - 1; i >= 0; i-- {
+				pairs[i] = s.pop()
+			}
+			for i := 0; i < a; i++ {
+				key, ok := pairs[2*i].(string)
+				if !ok {
+					s.fail(line, fmt.Errorf("map key must be string, got %s", lang.TypeOf(pairs[2*i])))
+					return
+				}
+				m.Items[key] = pairs[2*i+1]
+			}
+			s.push(m)
+			s.pc++
+		}
+	case bytecode.OpIndex:
+		return func(s *state) {
+			key := s.pop()
+			container := s.pop()
+			// Fast path: list[int], the inner-loop access pattern of the
+			// matrix benchmarks.
+			if l, ok := container.(*lang.List); ok {
+				if i, ok := key.(int64); ok && i >= 0 && i < int64(len(l.Items)) {
+					s.push(l.Items[i])
+					s.pc++
+					return
+				}
+			}
+			v, err := vm.Index(container, key)
+			if err != nil {
+				s.fail(line, err)
+				return
+			}
+			s.push(v)
+			s.pc++
+		}
+	case bytecode.OpSetIndex:
+		return func(s *state) {
+			val := s.pop()
+			key := s.pop()
+			container := s.pop()
+			if l, ok := container.(*lang.List); ok {
+				if i, ok := key.(int64); ok && i >= 0 && i < int64(len(l.Items)) {
+					l.Items[i] = val
+					s.pc++
+					return
+				}
+			}
+			if err := vm.SetIndex(container, key, val); err != nil {
+				s.fail(line, err)
+				return
+			}
+			s.pc++
+		}
+	case bytecode.OpIterNew:
+		return func(s *state) {
+			it, err := vm.NewIter(s.pop())
+			if err != nil {
+				s.fail(line, err)
+				return
+			}
+			s.push(it)
+			s.pc++
+		}
+	case bytecode.OpIterNext:
+		return func(s *state) {
+			it := s.stack[len(s.stack)-1].(*vm.Iter)
+			if item, ok := it.Next(); ok {
+				s.push(item)
+				s.pc++
+			} else {
+				s.pop()
+				s.pc = a
+			}
+		}
+	case bytecode.OpClosure:
+		inner := fn.Consts[a].(*bytecode.Function)
+		return func(s *state) { s.push(&bytecode.Closure{Fn: inner}); s.pc++ }
+	default:
+		op := ins.Op
+		return func(s *state) { s.fail(line, fmt.Errorf("unknown opcode %s", op)) }
+	}
+}
+
+// intFastBinop builds a step with a speculative int64 fast path and a
+// generic fallback through the shared interpreter semantics.
+func intFastBinop(op bytecode.Op, line int, fast func(a, b int64) int64) step {
+	return func(s *state) {
+		right := s.pop()
+		left := s.pop()
+		if li, ok := left.(int64); ok {
+			if ri, ok := right.(int64); ok {
+				s.push(fast(li, ri))
+				s.pc++
+				return
+			}
+		}
+		v, err := vm.BinaryOp(op, left, right)
+		if err != nil {
+			s.fail(line, err)
+			return
+		}
+		s.push(v)
+		s.pc++
+	}
+}
+
+func intFastCompare(op bytecode.Op, line int, fast func(a, b int64) bool) step {
+	return func(s *state) {
+		right := s.pop()
+		left := s.pop()
+		if li, ok := left.(int64); ok {
+			if ri, ok := right.(int64); ok {
+				s.push(fast(li, ri))
+				s.pc++
+				return
+			}
+		}
+		v, err := vm.BinaryOp(op, left, right)
+		if err != nil {
+			s.fail(line, err)
+			return
+		}
+		s.push(v)
+		s.pc++
+	}
+}

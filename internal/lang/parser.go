@@ -1,0 +1,541 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser builds an AST from a token stream using recursive descent with
+// Pratt-style operator precedence for expressions.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete FaaSLang module.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokenEOF) {
+		stmt, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, stmt)
+	}
+	return prog, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(t TokenType) bool { return p.cur().Type == t }
+
+func (p *Parser) expect(t TokenType) (Token, error) {
+	if !p.at(t) {
+		return Token{}, fmt.Errorf("lang: %s: expected %s, found %s %q",
+			p.cur().Pos(), t, p.cur().Type, p.cur().Literal)
+	}
+	return p.next(), nil
+}
+
+// eatSemi consumes an optional statement-terminating semicolon.
+func (p *Parser) eatSemi() {
+	if p.at(TokenSemi) {
+		p.next()
+	}
+}
+
+// ---- Statements ----
+
+func (p *Parser) statement() (Stmt, error) {
+	switch p.cur().Type {
+	case TokenAt, TokenFunc:
+		return p.funcDecl()
+	case TokenLet:
+		return p.letStmt()
+	case TokenIf:
+		return p.ifStmt()
+	case TokenWhile:
+		return p.whileStmt()
+	case TokenFor:
+		return p.forInStmt()
+	case TokenReturn:
+		tok := p.next()
+		var val Expr
+		if !p.at(TokenSemi) && !p.at(TokenRBrace) && !p.at(TokenEOF) {
+			var err error
+			val, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.eatSemi()
+		return &ReturnStmt{base: base{tok}, Value: val}, nil
+	case TokenBreak:
+		tok := p.next()
+		p.eatSemi()
+		return &BreakStmt{base{tok}}, nil
+	case TokenContinue:
+		tok := p.next()
+		p.eatSemi()
+		return &ContinueStmt{base{tok}}, nil
+	case TokenLBrace:
+		return p.block()
+	default:
+		return p.simpleStmt()
+	}
+}
+
+// simpleStmt parses either an assignment (x = e, c[i] = e) or a bare
+// expression statement.
+func (p *Parser) simpleStmt() (Stmt, error) {
+	tok := p.cur()
+	lhs, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TokenAssign) {
+		p.next()
+		switch lhs.(type) {
+		case *Ident, *IndexExpr:
+		default:
+			return nil, fmt.Errorf("lang: %s: invalid assignment target", tok.Pos())
+		}
+		rhs, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		p.eatSemi()
+		return &AssignStmt{base: base{tok}, Target: lhs, Value: rhs}, nil
+	}
+	p.eatSemi()
+	return &ExprStmt{base: base{tok}, X: lhs}, nil
+}
+
+func (p *Parser) annotations() ([]Annotation, error) {
+	var anns []Annotation
+	for p.at(TokenAt) {
+		p.next()
+		nameTok, err := p.expect(TokenIdent)
+		if err != nil {
+			return nil, err
+		}
+		ann := Annotation{Name: nameTok.Literal, Args: map[string]string{}}
+		if p.at(TokenLParen) {
+			p.next()
+			for !p.at(TokenRParen) {
+				keyTok, err := p.expect(TokenIdent)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokenAssign); err != nil {
+					return nil, err
+				}
+				valTok := p.next()
+				switch valTok.Type {
+				case TokenTrue, TokenFalse, TokenInt, TokenFloat, TokenString, TokenIdent:
+					ann.Args[keyTok.Literal] = valTok.Literal
+				default:
+					return nil, fmt.Errorf("lang: %s: bad annotation value %q", valTok.Pos(), valTok.Literal)
+				}
+				if p.at(TokenComma) {
+					p.next()
+				}
+			}
+			if _, err := p.expect(TokenRParen); err != nil {
+				return nil, err
+			}
+		}
+		anns = append(anns, ann)
+	}
+	return anns, nil
+}
+
+func (p *Parser) funcDecl() (Stmt, error) {
+	anns, err := p.annotations()
+	if err != nil {
+		return nil, err
+	}
+	tok, err := p.expect(TokenFunc)
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{
+		base:        base{tok},
+		Name:        nameTok.Literal,
+		Params:      params,
+		Body:        body,
+		Annotations: anns,
+	}, nil
+}
+
+func (p *Parser) paramList() ([]string, error) {
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.at(TokenRParen) {
+		tok, err := p.expect(TokenIdent)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, tok.Literal)
+		if p.at(TokenComma) {
+			p.next()
+		} else {
+			break
+		}
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+func (p *Parser) letStmt() (Stmt, error) {
+	tok := p.next() // let
+	nameTok, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenAssign); err != nil {
+		return nil, err
+	}
+	val, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	p.eatSemi()
+	return &LetStmt{base: base{tok}, Name: nameTok.Literal, Value: val}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	tok := p.next() // if
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &IfStmt{base: base{tok}, Cond: cond, Then: then}
+	if p.at(TokenElse) {
+		elseTok := p.next()
+		if p.at(TokenIf) {
+			inner, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Else = &Block{base: base{elseTok}, Stmts: []Stmt{inner}}
+		} else {
+			blk, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Else = blk
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	tok := p.next() // while
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{base: base{tok}, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) forInStmt() (Stmt, error) {
+	tok := p.next() // for
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	varTok, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenIn); err != nil {
+		return nil, err
+	}
+	iter, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForInStmt{base: base{tok}, Var: varTok.Literal, Iterable: iter, Body: body}, nil
+}
+
+func (p *Parser) block() (*Block, error) {
+	tok, err := p.expect(TokenLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &Block{base: base{tok}}
+	for !p.at(TokenRBrace) && !p.at(TokenEOF) {
+		stmt, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, stmt)
+	}
+	if _, err := p.expect(TokenRBrace); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// ---- Expressions (Pratt) ----
+
+// Binding powers, low to high.
+const (
+	precLowest  = iota
+	precOr      // ||
+	precAnd     // &&
+	precEquals  // == !=
+	precCompare // < <= > >=
+	precSum     // + -
+	precProduct // * / %
+	precUnary   // -x !x
+	precCall    // f(x) a[i] a.b
+)
+
+var precedences = map[TokenType]int{
+	TokenOr:       precOr,
+	TokenAnd:      precAnd,
+	TokenEq:       precEquals,
+	TokenNotEq:    precEquals,
+	TokenLt:       precCompare,
+	TokenLtEq:     precCompare,
+	TokenGt:       precCompare,
+	TokenGtEq:     precCompare,
+	TokenPlus:     precSum,
+	TokenMinus:    precSum,
+	TokenStar:     precProduct,
+	TokenSlash:    precProduct,
+	TokenPercent:  precProduct,
+	TokenLParen:   precCall,
+	TokenLBracket: precCall,
+	TokenDot:      precCall,
+}
+
+func (p *Parser) expression() (Expr, error) { return p.parseExpr(precLowest) }
+
+func (p *Parser) parseExpr(minPrec int) (Expr, error) {
+	left, err := p.prefix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := precedences[p.cur().Type]
+		if !ok || prec <= minPrec {
+			return left, nil
+		}
+		left, err = p.infix(left)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *Parser) prefix() (Expr, error) {
+	tok := p.cur()
+	switch tok.Type {
+	case TokenIdent:
+		p.next()
+		return &Ident{base: base{tok}, Name: tok.Literal}, nil
+	case TokenInt:
+		p.next()
+		v, err := strconv.ParseInt(tok.Literal, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("lang: %s: bad int literal %q: %v", tok.Pos(), tok.Literal, err)
+		}
+		return &IntLit{base: base{tok}, Value: v}, nil
+	case TokenFloat:
+		p.next()
+		v, err := strconv.ParseFloat(tok.Literal, 64)
+		if err != nil {
+			return nil, fmt.Errorf("lang: %s: bad float literal %q: %v", tok.Pos(), tok.Literal, err)
+		}
+		return &FloatLit{base: base{tok}, Value: v}, nil
+	case TokenString:
+		p.next()
+		return &StringLit{base: base{tok}, Value: tok.Literal}, nil
+	case TokenTrue, TokenFalse:
+		p.next()
+		return &BoolLit{base: base{tok}, Value: tok.Type == TokenTrue}, nil
+	case TokenNull:
+		p.next()
+		return &NullLit{base{tok}}, nil
+	case TokenMinus, TokenBang:
+		p.next()
+		x, err := p.parseExpr(precUnary)
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{base: base{tok}, Op: tok.Type, X: x}, nil
+	case TokenLParen:
+		p.next()
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokenLBracket:
+		p.next()
+		lit := &ListLit{base: base{tok}}
+		for !p.at(TokenRBracket) {
+			item, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			lit.Items = append(lit.Items, item)
+			if p.at(TokenComma) {
+				p.next()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect(TokenRBracket); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	case TokenLBrace:
+		p.next()
+		lit := &MapLit{base: base{tok}}
+		for !p.at(TokenRBrace) {
+			key, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokenColon); err != nil {
+				return nil, err
+			}
+			val, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			lit.Keys = append(lit.Keys, key)
+			lit.Values = append(lit.Values, val)
+			if p.at(TokenComma) {
+				p.next()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect(TokenRBrace); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	case TokenFunc:
+		p.next()
+		params, err := p.paramList()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &FuncLit{base: base{tok}, Params: params, Body: body}, nil
+	}
+	return nil, fmt.Errorf("lang: %s: unexpected %s %q in expression", tok.Pos(), tok.Type, tok.Literal)
+}
+
+func (p *Parser) infix(left Expr) (Expr, error) {
+	tok := p.cur()
+	switch tok.Type {
+	case TokenLParen:
+		p.next()
+		call := &CallExpr{base: base{tok}, Fn: left}
+		for !p.at(TokenRParen) {
+			arg, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			if p.at(TokenComma) {
+				p.next()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return call, nil
+	case TokenLBracket:
+		p.next()
+		idx, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRBracket); err != nil {
+			return nil, err
+		}
+		return &IndexExpr{base: base{tok}, X: left, Index: idx}, nil
+	case TokenDot:
+		p.next()
+		field, err := p.expect(TokenIdent)
+		if err != nil {
+			return nil, err
+		}
+		// m.field is sugar for m["field"].
+		return &IndexExpr{
+			base:  base{tok},
+			X:     left,
+			Index: &StringLit{base: base{field}, Value: field.Literal},
+		}, nil
+	default:
+		p.next()
+		right, err := p.parseExpr(precedences[tok.Type])
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{base: base{tok}, Op: tok.Type, Left: left, Right: right}, nil
+	}
+}

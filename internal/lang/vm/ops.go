@@ -1,0 +1,241 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/lang/bytecode"
+)
+
+// BinaryOp implements FaaSLang binary operator semantics. It is shared
+// verbatim by the interpreter and the JIT tier's generic slow path, so
+// the two tiers cannot diverge semantically.
+func BinaryOp(op bytecode.Op, left, right lang.Value) (lang.Value, error) {
+	switch op {
+	case bytecode.OpAdd:
+		switch l := left.(type) {
+		case int64:
+			switch r := right.(type) {
+			case int64:
+				return l + r, nil
+			case float64:
+				return float64(l) + r, nil
+			}
+		case float64:
+			switch r := right.(type) {
+			case int64:
+				return l + float64(r), nil
+			case float64:
+				return l + r, nil
+			}
+		case string:
+			if r, ok := right.(string); ok {
+				return l + r, nil
+			}
+			// String concatenation coerces the right side, matching the
+			// JavaScript-flavored semantics of the benchmark sources.
+			return l + lang.Format(right), nil
+		case *lang.List:
+			if r, ok := right.(*lang.List); ok {
+				items := make([]lang.Value, 0, len(l.Items)+len(r.Items))
+				items = append(items, l.Items...)
+				items = append(items, r.Items...)
+				return &lang.List{Items: items}, nil
+			}
+		}
+		return nil, opTypeError("+", left, right)
+	case bytecode.OpSub:
+		return numericOp(left, right, "-",
+			func(a, b int64) (lang.Value, error) { return a - b, nil },
+			func(a, b float64) (lang.Value, error) { return a - b, nil })
+	case bytecode.OpMul:
+		return numericOp(left, right, "*",
+			func(a, b int64) (lang.Value, error) { return a * b, nil },
+			func(a, b float64) (lang.Value, error) { return a * b, nil })
+	case bytecode.OpDiv:
+		return numericOp(left, right, "/",
+			func(a, b int64) (lang.Value, error) {
+				if b == 0 {
+					return nil, fmt.Errorf("division by zero")
+				}
+				return a / b, nil
+			},
+			func(a, b float64) (lang.Value, error) { return a / b, nil })
+	case bytecode.OpMod:
+		return numericOp(left, right, "%",
+			func(a, b int64) (lang.Value, error) {
+				if b == 0 {
+					return nil, fmt.Errorf("modulo by zero")
+				}
+				return a % b, nil
+			},
+			func(a, b float64) (lang.Value, error) {
+				return nil, fmt.Errorf("modulo of floats")
+			})
+	case bytecode.OpEq:
+		return lang.Equal(left, right), nil
+	case bytecode.OpNeq:
+		return !lang.Equal(left, right), nil
+	case bytecode.OpLt, bytecode.OpLte, bytecode.OpGt, bytecode.OpGte:
+		cmp, err := compare(left, right)
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case bytecode.OpLt:
+			return cmp < 0, nil
+		case bytecode.OpLte:
+			return cmp <= 0, nil
+		case bytecode.OpGt:
+			return cmp > 0, nil
+		default:
+			return cmp >= 0, nil
+		}
+	}
+	return nil, fmt.Errorf("unsupported binary op %s", op)
+}
+
+func numericOp(left, right lang.Value, name string,
+	intFn func(a, b int64) (lang.Value, error),
+	floatFn func(a, b float64) (lang.Value, error),
+) (lang.Value, error) {
+	switch l := left.(type) {
+	case int64:
+		switch r := right.(type) {
+		case int64:
+			return intFn(l, r)
+		case float64:
+			return floatFn(float64(l), r)
+		}
+	case float64:
+		switch r := right.(type) {
+		case int64:
+			return floatFn(l, float64(r))
+		case float64:
+			return floatFn(l, r)
+		}
+	}
+	return nil, opTypeError(name, left, right)
+}
+
+func compare(left, right lang.Value) (int, error) {
+	switch l := left.(type) {
+	case int64:
+		switch r := right.(type) {
+		case int64:
+			switch {
+			case l < r:
+				return -1, nil
+			case l > r:
+				return 1, nil
+			}
+			return 0, nil
+		case float64:
+			return compareFloats(float64(l), r), nil
+		}
+	case float64:
+		switch r := right.(type) {
+		case int64:
+			return compareFloats(l, float64(r)), nil
+		case float64:
+			return compareFloats(l, r), nil
+		}
+	case string:
+		if r, ok := right.(string); ok {
+			switch {
+			case l < r:
+				return -1, nil
+			case l > r:
+				return 1, nil
+			}
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("cannot compare %s and %s", lang.TypeOf(left), lang.TypeOf(right))
+}
+
+func compareFloats(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func opTypeError(op string, left, right lang.Value) error {
+	return fmt.Errorf("unsupported operand types for %s: %s and %s",
+		op, lang.TypeOf(left), lang.TypeOf(right))
+}
+
+// Index implements container[key] for lists (int index, negative wraps),
+// maps (string key, missing yields null), and strings (int index).
+func Index(container, key lang.Value) (lang.Value, error) {
+	switch c := container.(type) {
+	case *lang.List:
+		idx, ok := key.(int64)
+		if !ok {
+			return nil, fmt.Errorf("list index must be int, got %s", lang.TypeOf(key))
+		}
+		n := int64(len(c.Items))
+		if idx < 0 {
+			idx += n
+		}
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("list index %d out of range (len %d)", idx, n)
+		}
+		return c.Items[idx], nil
+	case *lang.Map:
+		k, ok := key.(string)
+		if !ok {
+			return nil, fmt.Errorf("map key must be string, got %s", lang.TypeOf(key))
+		}
+		return c.Items[k], nil
+	case string:
+		idx, ok := key.(int64)
+		if !ok {
+			return nil, fmt.Errorf("string index must be int, got %s", lang.TypeOf(key))
+		}
+		n := int64(len(c))
+		if idx < 0 {
+			idx += n
+		}
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("string index %d out of range (len %d)", idx, n)
+		}
+		return string(c[idx]), nil
+	default:
+		return nil, fmt.Errorf("cannot index %s", lang.TypeOf(container))
+	}
+}
+
+// SetIndex implements container[key] = value for lists and maps.
+func SetIndex(container, key, value lang.Value) error {
+	switch c := container.(type) {
+	case *lang.List:
+		idx, ok := key.(int64)
+		if !ok {
+			return fmt.Errorf("list index must be int, got %s", lang.TypeOf(key))
+		}
+		n := int64(len(c.Items))
+		if idx < 0 {
+			idx += n
+		}
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("list index %d out of range (len %d)", idx, n)
+		}
+		c.Items[idx] = value
+		return nil
+	case *lang.Map:
+		k, ok := key.(string)
+		if !ok {
+			return fmt.Errorf("map key must be string, got %s", lang.TypeOf(key))
+		}
+		c.Items[k] = value
+		return nil
+	default:
+		return fmt.Errorf("cannot index-assign %s", lang.TypeOf(container))
+	}
+}

@@ -1,0 +1,458 @@
+// Package mem models guest-physical memory for the Fireworks simulation:
+// page-granular sharing of snapshot images across microVMs, copy-on-write
+// splitting, and the PSS (proportional set size) accounting that the
+// paper's memory experiments (Figures 10 and 12) are built on.
+//
+// # Model
+//
+// Memory is grouped into Regions: named sets of pages whose frames are
+// shared by every address space that maps the region (exactly how a
+// MAP_PRIVATE snapshot file mapping behaves in Firecracker). When a guest
+// writes to a shared page, the page is CoW-split: the writing address
+// space gets a private copy, and the base frame's sharer count for that
+// page drops by one. Per-page sharer counts are kept sparsely, so a
+// 512 MiB guest costs a handful of map entries rather than 131072 of
+// them, while PSS remains page-exact.
+//
+// A Host tracks total physical frame usage against a capacity and a
+// swappiness threshold, reproducing the "launch microVMs until swapping
+// starts" methodology of §5.4.
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageSize is the guest page size in bytes (4 KiB, matching x86-64).
+const PageSize = 4096
+
+// Kind labels what a region or private allocation holds. The factor
+// analysis in Figure 12 reports savings per kind.
+type Kind string
+
+const (
+	KindKernel  Kind = "kernel"  // guest kernel + boot pages
+	KindRuntime Kind = "runtime" // language runtime text/data
+	KindLibrary Kind = "library" // loaded packages/modules
+	KindJITCode Kind = "jitcode" // JIT-compiled machine code
+	KindHeap    Kind = "heap"    // application heap
+	KindAnon    Kind = "anon"    // miscellaneous anonymous memory
+)
+
+// Host models the physical memory of one server.
+type Host struct {
+	mu         sync.Mutex
+	capacity   uint64 // bytes of physical memory
+	swappiness float64
+	usedPages  uint64
+	regions    map[string]*Region
+	nextRegion int
+}
+
+// NewHost returns a host with the given physical capacity in bytes and a
+// vm.swappiness-style threshold: swapping begins once usage exceeds
+// swappiness (as a fraction, e.g. 0.6) of capacity.
+func NewHost(capacity uint64, swappiness float64) *Host {
+	if swappiness <= 0 || swappiness > 1 {
+		panic(fmt.Sprintf("mem: swappiness %v out of (0,1]", swappiness))
+	}
+	return &Host{
+		capacity:   capacity,
+		swappiness: swappiness,
+		regions:    make(map[string]*Region),
+	}
+}
+
+// Capacity returns the host's physical memory in bytes.
+func (h *Host) Capacity() uint64 { return h.capacity }
+
+// SwapThreshold returns the usage level (bytes) at which swapping starts.
+func (h *Host) SwapThreshold() uint64 {
+	return uint64(float64(h.capacity) * h.swappiness)
+}
+
+// Used returns the bytes of physical memory currently in use across all
+// regions and private allocations.
+func (h *Host) Used() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.usedPages * PageSize
+}
+
+// Swapping reports whether current usage has crossed the swap threshold.
+func (h *Host) Swapping() bool { return h.Used() > h.SwapThreshold() }
+
+func (h *Host) addPages(n int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	next := int64(h.usedPages) + n
+	if next < 0 {
+		panic("mem: host page accounting went negative")
+	}
+	h.usedPages = uint64(next)
+}
+
+// NewRegion creates a shareable region of pages on this host. The
+// region's frames occupy physical memory only while at least one address
+// space maps it.
+func (h *Host) NewRegion(name string, kind Kind, pages int) *Region {
+	if pages < 0 {
+		panic("mem: negative region size")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextRegion++
+	r := &Region{
+		host:      h,
+		name:      fmt.Sprintf("%s#%d", name, h.nextRegion),
+		kind:      kind,
+		pages:     pages,
+		dirtied:   make(map[int]int),
+		freedBase: make(map[int]bool),
+	}
+	h.regions[r.name] = r
+	return r
+}
+
+// Region is a named group of pages shared CoW among address spaces.
+type Region struct {
+	host    *Host
+	name    string
+	kind    Kind
+	pages   int
+	sharers int
+	// dirtied[p] = number of spaces that CoW-split page p and therefore
+	// no longer reference the base frame. Sparse: absent means zero.
+	dirtied map[int]int
+	// freedBase marks pages whose base frame has been reclaimed because
+	// every current sharer CoW-split it (the file-backed page becomes
+	// evictable page cache and stops counting against physical memory).
+	freedBase map[int]bool
+}
+
+// recheckPage reconciles page p's base frame with its referent count and
+// returns the host page delta (-1 reclaimed, +1 re-materialized, 0
+// unchanged). Caller holds the host lock and applies the delta.
+func (r *Region) recheckPage(p int) int {
+	base := r.sharers - r.dirtied[p]
+	switch {
+	case base <= 0 && !r.freedBase[p] && r.sharers > 0:
+		r.freedBase[p] = true
+		return -1
+	case base > 0 && r.freedBase[p]:
+		delete(r.freedBase, p)
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Name returns the unique region name, Kind its content label, and Pages
+// its size in pages.
+func (r *Region) Name() string { return r.name }
+func (r *Region) Kind() Kind   { return r.kind }
+func (r *Region) Pages() int   { return r.pages }
+
+// Sharers returns the number of address spaces currently mapping the
+// region.
+func (r *Region) Sharers() int {
+	r.host.mu.Lock()
+	defer r.host.mu.Unlock()
+	return r.sharers
+}
+
+// Space is one address space (one microVM's guest-physical memory, or one
+// container's memory image).
+type Space struct {
+	host    *Host
+	name    string
+	refs    map[string]*regionRef
+	private map[Kind]int // private page counts by kind (anon + CoW copies)
+	freed   bool
+}
+
+type regionRef struct {
+	region *Region
+	dirty  map[int]bool // pages this space has CoW-split
+}
+
+// NewSpace creates an empty address space on the host.
+func (h *Host) NewSpace(name string) *Space {
+	return &Space{
+		host:    h,
+		name:    name,
+		refs:    make(map[string]*regionRef),
+		private: make(map[Kind]int),
+	}
+}
+
+// Name returns the space's name.
+func (s *Space) Name() string { return s.name }
+
+// MapRegion maps a shared region into this space. Mapping the same region
+// twice is an error in the simulated stack and panics.
+func (s *Space) MapRegion(r *Region) {
+	s.mustLive()
+	if _, ok := s.refs[r.name]; ok {
+		panic(fmt.Sprintf("mem: region %s mapped twice into %s", r.name, s.name))
+	}
+	s.refs[r.name] = &regionRef{region: r, dirty: make(map[int]bool)}
+	h := s.host
+	h.mu.Lock()
+	r.sharers++
+	var delta int64
+	if r.sharers == 1 {
+		delta += int64(r.pages) // frames materialize on first mapping
+	}
+	// A new sharer re-references base frames that were reclaimed when
+	// every previous sharer had split them.
+	for p := range r.freedBase {
+		delta += int64(r.recheckPage(p))
+	}
+	h.mu.Unlock()
+	if delta != 0 {
+		h.addPages(delta)
+	}
+}
+
+// DirtyPage CoW-splits one page of a mapped region: this space gets a
+// private copy. Dirtying an already-split page is a no-op (the private
+// copy is simply written again). It reports whether a CoW fault occurred.
+func (s *Space) DirtyPage(r *Region, page int) bool {
+	s.mustLive()
+	ref, ok := s.refs[r.name]
+	if !ok {
+		panic(fmt.Sprintf("mem: dirty of unmapped region %s in %s", r.name, s.name))
+	}
+	if page < 0 || page >= r.pages {
+		panic(fmt.Sprintf("mem: page %d out of range for region %s (%d pages)", page, r.name, r.pages))
+	}
+	if ref.dirty[page] {
+		return false
+	}
+	ref.dirty[page] = true
+	h := s.host
+	h.mu.Lock()
+	r.dirtied[page]++
+	delta := int64(1) + int64(r.recheckPage(page))
+	h.mu.Unlock()
+	s.private[r.kind]++
+	h.addPages(delta)
+	return true
+}
+
+// DirtyPages CoW-splits the first n pages of the region (a convenient
+// stand-in for "the working set touched during execution") and returns
+// the number of actual faults.
+func (s *Space) DirtyPages(r *Region, n int) int {
+	if n > r.pages {
+		n = r.pages
+	}
+	faults := 0
+	for p := 0; p < n; p++ {
+		if s.DirtyPage(r, p) {
+			faults++
+		}
+	}
+	return faults
+}
+
+// AllocPrivate allocates n private anonymous pages of the given kind.
+func (s *Space) AllocPrivate(kind Kind, pages int) {
+	s.mustLive()
+	if pages < 0 {
+		panic("mem: negative private allocation")
+	}
+	s.private[kind] += pages
+	s.host.addPages(int64(pages))
+}
+
+// FreePrivate releases n private pages of the given kind.
+func (s *Space) FreePrivate(kind Kind, pages int) {
+	s.mustLive()
+	if s.private[kind] < pages {
+		panic(fmt.Sprintf("mem: freeing %d %s pages but only %d allocated", pages, kind, s.private[kind]))
+	}
+	s.private[kind] -= pages
+	s.host.addPages(-int64(pages))
+}
+
+// Free releases everything the space holds: region mappings (dropping
+// per-page sharer counts, reclaiming base frames that lost their last
+// referent) and private pages. The space is unusable afterwards.
+func (s *Space) Free() {
+	s.mustLive()
+	h := s.host
+	var dirtyTotal int64
+	for _, ref := range s.refs {
+		r := ref.region
+		dirtyTotal += int64(len(ref.dirty))
+		h.mu.Lock()
+		// Our private CoW copies are released.
+		delta := -int64(len(ref.dirty))
+		for p := range ref.dirty {
+			r.dirtied[p]--
+			if r.dirtied[p] == 0 {
+				delete(r.dirtied, p)
+			}
+		}
+		r.sharers--
+		if r.sharers == 0 {
+			// Region goes dormant: release every base frame that was
+			// not already reclaimed.
+			delta -= int64(r.pages - len(r.freedBase))
+			r.freedBase = make(map[int]bool)
+		} else {
+			// Our departure may orphan base frames of pages every
+			// remaining sharer has split, or re-balance ones we split.
+			for p := range r.dirtied {
+				delta += int64(r.recheckPage(p))
+			}
+			for p := range r.freedBase {
+				delta += int64(r.recheckPage(p))
+			}
+		}
+		h.mu.Unlock()
+		h.addPages(delta)
+	}
+	var privatePages int64
+	for _, n := range s.private {
+		privatePages += int64(n)
+	}
+	// Region CoW copies were already subtracted above; subtract only
+	// the remaining pure-anonymous portion.
+	h.addPages(-(privatePages - dirtyTotal))
+	s.refs = nil
+	s.private = nil
+	s.freed = true
+}
+
+func (s *Space) mustLive() {
+	if s.freed {
+		panic(fmt.Sprintf("mem: use of freed space %s", s.name))
+	}
+}
+
+// PrivatePages returns the number of private pages of one kind.
+func (s *Space) PrivatePages(kind Kind) int { return s.private[kind] }
+
+// RSS returns the resident set size in bytes: all mapped shared pages
+// plus all private pages (how `top` would see the microVM process).
+func (s *Space) RSS() uint64 {
+	s.mustLive()
+	var pages uint64
+	for _, ref := range s.refs {
+		// Shared pages still referenced (not CoW-split by this space).
+		pages += uint64(ref.region.pages - len(ref.dirty))
+	}
+	for _, n := range s.private {
+		pages += uint64(n)
+	}
+	return pages * PageSize
+}
+
+// PSS returns the proportional set size in bytes, exactly as smem
+// computes it: each private page counts fully; each shared page counts
+// 1/N where N is the number of spaces still referencing that base frame.
+func (s *Space) PSS() float64 {
+	s.mustLive()
+	var pss float64
+	for _, n := range s.private {
+		pss += float64(n) * PageSize
+	}
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ref := range s.refs {
+		r := ref.region
+		// Pages nobody split: shared by all current sharers.
+		clean := r.pages - len(r.dirtied)
+		if r.sharers > 0 {
+			pss += float64(clean) * PageSize / float64(r.sharers)
+		}
+		// Pages split by someone: this space shares the base frame only
+		// if it did not split the page itself.
+		for p, nSplit := range r.dirtied {
+			if ref.dirty[p] {
+				continue // our copy already counted as private
+			}
+			base := r.sharers - nSplit
+			if base > 0 {
+				pss += PageSize / float64(base)
+			}
+		}
+	}
+	return pss
+}
+
+// USS returns the unique set size in bytes: private pages plus shared
+// pages mapped by no other space.
+func (s *Space) USS() uint64 {
+	s.mustLive()
+	var pages uint64
+	for _, n := range s.private {
+		pages += uint64(n)
+	}
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ref := range s.refs {
+		r := ref.region
+		if r.sharers == 1 {
+			pages += uint64(r.pages - len(ref.dirty))
+		} else {
+			for p, nSplit := range r.dirtied {
+				if !ref.dirty[p] && r.sharers-nSplit == 1 {
+					pages++
+				}
+			}
+			if len(r.dirtied) == 0 {
+				continue
+			}
+		}
+	}
+	return pages * PageSize
+}
+
+// BreakdownByKind returns this space's PSS decomposed by content kind,
+// used by the Figure 12 factor analysis.
+func (s *Space) BreakdownByKind() map[Kind]float64 {
+	s.mustLive()
+	out := make(map[Kind]float64)
+	for kind, n := range s.private {
+		out[kind] += float64(n) * PageSize
+	}
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ref := range s.refs {
+		r := ref.region
+		clean := r.pages - len(r.dirtied)
+		if r.sharers > 0 {
+			out[r.kind] += float64(clean) * PageSize / float64(r.sharers)
+		}
+		for p, nSplit := range r.dirtied {
+			if ref.dirty[p] {
+				continue
+			}
+			if base := r.sharers - nSplit; base > 0 {
+				out[r.kind] += PageSize / float64(base)
+			}
+		}
+	}
+	return out
+}
+
+// Kinds returns the deterministic ordering of kinds used in reports.
+func Kinds() []Kind {
+	ks := []Kind{KindKernel, KindRuntime, KindLibrary, KindJITCode, KindHeap, KindAnon}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// PagesFor returns the number of pages needed to hold n bytes.
+func PagesFor(bytes uint64) int {
+	return int((bytes + PageSize - 1) / PageSize)
+}

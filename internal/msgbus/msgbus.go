@@ -1,0 +1,215 @@
+// Package msgbus implements the Kafka-like message bus Fireworks uses as
+// its parameter passer (§3.6): before resuming a snapshot, the platform
+// produces the invocation arguments to a per-function-instance topic; the
+// resumed guest consumes exactly one message from the latest offset
+// (the paper shells out to `kafkacat -o -1 -c 1`).
+//
+// The broker supports multiple topics, partitioned append-only logs,
+// offset-based consumption, and blocking "latest" reads, which is the
+// subset of Kafka the platform depends on.
+package msgbus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by the broker.
+var (
+	ErrNoTopic   = errors.New("msgbus: topic does not exist")
+	ErrBadOffset = errors.New("msgbus: offset out of range")
+	ErrEmpty     = errors.New("msgbus: topic is empty")
+)
+
+// Message is one record in a topic partition.
+type Message struct {
+	Topic     string
+	Partition int
+	Offset    int64
+	Key       string
+	Value     []byte
+}
+
+// Broker is an in-process message bus. It is safe for concurrent use.
+type Broker struct {
+	mu     sync.Mutex
+	topics map[string]*topic
+}
+
+type topic struct {
+	name       string
+	partitions []*partition
+}
+
+type partition struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	records []Message
+}
+
+func newPartition() *partition {
+	p := &partition{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{topics: make(map[string]*topic)}
+}
+
+// CreateTopic creates a topic with the given number of partitions.
+// Creating an existing topic is a no-op if the partition count matches.
+func (b *Broker) CreateTopic(name string, partitions int) error {
+	if partitions <= 0 {
+		return fmt.Errorf("msgbus: topic %q needs at least one partition", name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t, ok := b.topics[name]; ok {
+		if len(t.partitions) != partitions {
+			return fmt.Errorf("msgbus: topic %q exists with %d partitions", name, len(t.partitions))
+		}
+		return nil
+	}
+	t := &topic{name: name}
+	for i := 0; i < partitions; i++ {
+		t.partitions = append(t.partitions, newPartition())
+	}
+	b.topics[name] = t
+	return nil
+}
+
+// DeleteTopic removes a topic and all its records.
+func (b *Broker) DeleteTopic(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.topics, name)
+}
+
+// HasTopic reports whether the topic exists.
+func (b *Broker) HasTopic(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.topics[name]
+	return ok
+}
+
+func (b *Broker) topic(name string) (*topic, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTopic, name)
+	}
+	return t, nil
+}
+
+// partitionFor hashes a key onto one of the topic's partitions (FNV-1a),
+// or partition 0 for an empty key.
+func (t *topic) partitionFor(key string) *partition {
+	if key == "" || len(t.partitions) == 1 {
+		return t.partitions[0]
+	}
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return t.partitions[h%uint32(len(t.partitions))]
+}
+
+// Produce appends a record and returns its partition and offset.
+func (b *Broker) Produce(topicName, key string, value []byte) (partitionID int, offset int64, err error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, 0, err
+	}
+	p := t.partitionFor(key)
+	for i, cand := range t.partitions {
+		if cand == p {
+			partitionID = i
+			break
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	offset = int64(len(p.records))
+	p.records = append(p.records, Message{
+		Topic:     topicName,
+		Partition: partitionID,
+		Offset:    offset,
+		Key:       key,
+		Value:     append([]byte(nil), value...),
+	})
+	p.cond.Broadcast()
+	return partitionID, offset, nil
+}
+
+// ConsumeAt returns the record at the given offset of a partition.
+func (b *Broker) ConsumeAt(topicName string, partitionID int, offset int64) (Message, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return Message{}, err
+	}
+	if partitionID < 0 || partitionID >= len(t.partitions) {
+		return Message{}, fmt.Errorf("msgbus: topic %q has no partition %d", topicName, partitionID)
+	}
+	p := t.partitions[partitionID]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if offset < 0 || offset >= int64(len(p.records)) {
+		return Message{}, fmt.Errorf("%w: %d of %d", ErrBadOffset, offset, len(p.records))
+	}
+	return p.records[offset], nil
+}
+
+// ConsumeLatest returns the most recent record in partition 0, the
+// semantics of `kafkacat -C -o -1 -c 1`. It returns ErrEmpty when the
+// partition has no records.
+func (b *Broker) ConsumeLatest(topicName string) (Message, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return Message{}, err
+	}
+	p := t.partitions[0]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.records) == 0 {
+		return Message{}, fmt.Errorf("%w: %q", ErrEmpty, topicName)
+	}
+	return p.records[len(p.records)-1], nil
+}
+
+// WaitLatest blocks until the partition has a record at or past minCount
+// records, then returns the newest. It is used when the resumed guest
+// can race the producer.
+func (b *Broker) WaitLatest(topicName string, minCount int) (Message, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return Message{}, err
+	}
+	p := t.partitions[0]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.records) < minCount {
+		p.cond.Wait()
+	}
+	return p.records[len(p.records)-1], nil
+}
+
+// Len returns the number of records across all partitions of a topic.
+func (b *Broker) Len(topicName string) (int, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, p := range t.partitions {
+		p.mu.Lock()
+		total += len(p.records)
+		p.mu.Unlock()
+	}
+	return total, nil
+}

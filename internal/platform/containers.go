@@ -1,0 +1,347 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fs"
+	"repro/internal/lang"
+	"repro/internal/mem"
+	"repro/internal/runtime"
+	"repro/internal/sandbox"
+	"repro/internal/trace"
+)
+
+// OpenWhisk controller costs (authentication, action lookup, Kafka
+// scheduling). The paper notes OpenWhisk pays "pretty high overhead to
+// initialize a container (e.g., authentication and message queue
+// initialization) in the case of a cold start".
+const (
+	costOWColdController = 470 * time.Millisecond
+	costOWWarmController = 24 * time.Millisecond
+)
+
+// containerPlatform is the shared implementation behind the OpenWhisk
+// and gVisor baselines: per-function pools of pausable container guests.
+type containerPlatform struct {
+	env     *Env
+	name    string
+	profile sandbox.Profile
+	// controller overheads; zero for bare-Docker gVisor.
+	coldOverhead time.Duration
+	warmOverhead time.Duration
+	// chains enables the invoke() native (OpenWhisk can run function
+	// chains; the bare sandbox managers cannot — §5.3).
+	chains bool
+	// keepAlive bounds how long an idle warm container stays resident
+	// on the workload timeline (InvokeOptions.At); zero keeps
+	// containers forever (the default for untimed invocations).
+	keepAlive time.Duration
+
+	mu     sync.Mutex
+	fns    map[string]*Function
+	warm   map[string][]*containerGuest
+	nextID int
+}
+
+// containerGuest is one (possibly paused) container with a loaded
+// runtime.
+type containerGuest struct {
+	id        string
+	fn        *Function
+	rt        *runtime.Runtime
+	space     *mem.Space
+	overlay   *fs.Overlay
+	binding   *NativeBinding
+	heapAlloc bool
+	// lastUsed is the workload-timeline position of the guest's latest
+	// invocation (keep-alive bookkeeping).
+	lastUsed time.Duration
+}
+
+// NewOpenWhisk returns the OpenWhisk baseline: container sandboxes plus
+// controller overhead, with function-chain support. Warm containers are
+// kept alive indefinitely (the right model for untimed measurements).
+func NewOpenWhisk(env *Env) Platform { return NewOpenWhiskKeepAlive(env, 0) }
+
+// NewOpenWhiskKeepAlive is NewOpenWhisk with a bounded keep-alive: idle
+// warm containers expire after ttl on the workload timeline
+// (InvokeOptions.At), releasing their memory — the production policy
+// ("defer termination of the worker sandbox for a certain period", §2).
+func NewOpenWhiskKeepAlive(env *Env, ttl time.Duration) Platform {
+	return &containerPlatform{
+		env:          env,
+		name:         "openwhisk",
+		profile:      sandbox.Profiles(sandbox.ClassContainer),
+		coldOverhead: costOWColdController,
+		warmOverhead: costOWWarmController,
+		chains:       true,
+		keepAlive:    ttl,
+		fns:          make(map[string]*Function),
+		warm:         make(map[string][]*containerGuest),
+	}
+}
+
+// NewGVisor returns the gVisor baseline: runsc sandboxes under plain
+// Docker (no controller, no chain support).
+func NewGVisor(env *Env) Platform {
+	return &containerPlatform{
+		env:     env,
+		name:    "gvisor",
+		profile: sandbox.Profiles(sandbox.ClassGVisor),
+		fns:     make(map[string]*Function),
+		warm:    make(map[string][]*containerGuest),
+	}
+}
+
+// PlatformName implements Platform.
+func (p *containerPlatform) PlatformName() string { return p.name }
+
+// Install implements Platform: container platforms only register the
+// function; sandboxes are created lazily at first invocation.
+func (p *containerPlatform) Install(fn Function) (*InstallReport, error) {
+	if err := validate(&fn); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fns[fn.Name] = &fn
+	return &InstallReport{Function: fn.Name}, nil
+}
+
+// Remove implements Platform.
+func (p *containerPlatform) Remove(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.fns[name]; !ok {
+		return fmt.Errorf("%s: no function %q", p.name, name)
+	}
+	for _, g := range p.warm[name] {
+		g.space.Free()
+	}
+	delete(p.warm, name)
+	delete(p.fns, name)
+	return nil
+}
+
+// Invoke implements Platform.
+func (p *containerPlatform) Invoke(name string, params lang.Value, opts InvokeOptions) (*Invocation, error) {
+	p.mu.Lock()
+	fn, ok := p.fns[name]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%s: no function %q", p.name, name)
+	}
+
+	inv := opts.Parent
+	if inv == nil {
+		inv = NewInvocation(name)
+	}
+	// Request delivery: frontend -> controller -> sandbox.
+	paramBytes := encodedSize(params)
+	inv.ChargeOther("param-deliver", p.profile.NetOpBase+time.Duration((paramBytes+1023)/1024)*p.profile.NetPerKB)
+
+	guest, mode, err := p.acquire(fn, opts.Mode, inv, opts.At)
+	if err != nil {
+		return nil, err
+	}
+	inv.Mode = mode
+	inv.SandboxID = guest.id
+
+	guest.rt.SetClock(inv.Clock)
+	guest.binding.Rebind(inv)
+
+	// Execute the entry point. Whatever the call charged to explicit
+	// phases (host-native "others" charges, and the full breakdown of
+	// chained child invocations) is subtracted from the measured span;
+	// the remainder is this function's own execution time.
+	attributedBefore := inv.Breakdown.Total()
+	startMark := inv.Clock.Now()
+	result, err := guest.rt.Call(fn.EntryName(), params)
+	span := inv.Clock.Since(startMark)
+	attributed := inv.Breakdown.Total() - attributedBefore
+	exec := span - attributed
+	inv.Breakdown.Add(trace.PhaseExec, "exec", exec)
+	// Sentry-style sandboxes intercept the runtime's own syscalls
+	// during computation (gVisor), taxing pure execution.
+	if p.profile.ExecOverheadFactor > 0 && exec > 0 {
+		tax := time.Duration(float64(exec) * p.profile.ExecOverheadFactor)
+		inv.Clock.Advance(tax)
+		inv.Breakdown.Add(trace.PhaseExec, "syscall-interception", tax)
+	}
+	if err != nil {
+		p.release(guest)
+		return inv, fmt.Errorf("%s: %s: %w", p.name, name, err)
+	}
+	inv.Result = result
+	inv.Logs += guest.rt.Stdout.String()
+	guest.rt.Stdout.Reset()
+
+	// Memory dirtied by this run (heap churn + workload writes), only
+	// accounted once per guest: later warm runs reuse the same pages.
+	if !guest.heapAlloc {
+		guest.space.AllocPrivate(mem.KindHeap,
+			mem.PagesFor(guest.rt.Model.HeapPerInvokeBytes+fn.DirtyBytesPerRun))
+		guest.heapAlloc = true
+	}
+
+	// Response delivery when the function did not answer over HTTP
+	// itself.
+	if inv.Response == nil {
+		body := lang.Format(result)
+		inv.ChargeOther("response", p.profile.NetOpBase+time.Duration((len(body)+1023)/1024)*p.profile.NetPerKB)
+		inv.Response = &Response{Status: 200, Body: body}
+	}
+
+	guest.lastUsed = opts.At
+	p.release(guest)
+	return inv, nil
+}
+
+// acquire returns a running guest for fn, cold-starting one if needed.
+// Pool entries whose keep-alive expired before `at` are terminated
+// (their memory released) instead of reused.
+func (p *containerPlatform) acquire(fn *Function, mode StartMode, inv *Invocation, at time.Duration) (*containerGuest, StartMode, error) {
+	p.mu.Lock()
+	var guest *containerGuest
+	var expired []*containerGuest
+	if mode != ModeCold {
+		pool := p.warm[fn.Name]
+		for len(pool) > 0 {
+			candidate := pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			if p.keepAlive > 0 && at > candidate.lastUsed+p.keepAlive {
+				expired = append(expired, candidate)
+				continue
+			}
+			guest = candidate
+			break
+		}
+		p.warm[fn.Name] = pool
+	}
+	p.mu.Unlock()
+	for _, e := range expired {
+		e.space.Free()
+	}
+
+	if guest != nil {
+		if p.warmOverhead > 0 {
+			inv.ChargeStartup("controller", p.warmOverhead)
+		}
+		inv.ChargeStartup("container-unpause", p.profile.WarmResume)
+		return guest, ModeWarm, nil
+	}
+	if mode == ModeWarm {
+		return nil, mode, fmt.Errorf("%s: no warm sandbox for %q", p.name, fn.Name)
+	}
+
+	// Cold start: controller work, container creation, runtime boot,
+	// application load.
+	if p.coldOverhead > 0 {
+		inv.ChargeStartup("controller", p.coldOverhead)
+	}
+	inv.ChargeStartup("container-create", p.profile.ColdCreate)
+
+	p.mu.Lock()
+	p.nextID++
+	id := fmt.Sprintf("%s-%04d", p.name, p.nextID)
+	p.mu.Unlock()
+
+	space := p.env.Mem.NewSpace(id)
+	space.AllocPrivate(mem.KindAnon, mem.PagesFor(p.profile.InfraBytes))
+
+	rt := runtime.New(fn.Lang, inv.Clock)
+	overlay := fs.NewOverlay(fs.NewMemFS())
+	guest = &containerGuest{id: id, fn: fn, rt: rt, space: space, overlay: overlay}
+	guest.binding = &NativeBinding{
+		Profile: p.profile,
+		FS:      overlay,
+		Couch:   p.env.Couch,
+		Inv:     inv,
+	}
+	if p.chains {
+		guest.binding.Invoke = func(name string, params lang.Value, parent *Invocation) (*Invocation, error) {
+			return p.Invoke(name, params, InvokeOptions{Parent: parent})
+		}
+	}
+	guest.binding.Install(rt)
+
+	bootMark := inv.Clock.Now()
+	rt.Boot()
+	if err := rt.LoadModule(fn.Source); err != nil {
+		space.Free()
+		return nil, mode, err
+	}
+	inv.Breakdown.Add(trace.PhaseStartup, "runtime-boot+load", inv.Clock.Since(bootMark))
+	space.AllocPrivate(mem.KindRuntime, mem.PagesFor(rt.Model.RuntimeImageBytes))
+	space.AllocPrivate(mem.KindLibrary, mem.PagesFor(rt.Model.LibraryBytes))
+	return guest, ModeCold, nil
+}
+
+// release returns a guest to the warm pool (OpenWhisk's keep-alive).
+func (p *containerPlatform) release(g *containerGuest) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.warm[g.fn.Name] = append(p.warm[g.fn.Name], g)
+}
+
+// ExpireIdle terminates every pooled container idle past the keep-alive
+// at timeline position now, releasing its memory; it returns how many
+// were reaped. (Acquire also expires lazily; this is the background
+// reaper that reclaims memory for functions that are never called
+// again.)
+func (p *containerPlatform) ExpireIdle(now time.Duration) int {
+	if p.keepAlive == 0 {
+		return 0
+	}
+	p.mu.Lock()
+	var victims []*containerGuest
+	for name, pool := range p.warm {
+		var kept []*containerGuest
+		for _, g := range pool {
+			if now > g.lastUsed+p.keepAlive {
+				victims = append(victims, g)
+			} else {
+				kept = append(kept, g)
+			}
+		}
+		p.warm[name] = kept
+	}
+	p.mu.Unlock()
+	for _, g := range victims {
+		g.space.Free()
+	}
+	return len(victims)
+}
+
+// Spaces returns the address spaces of the function's pooled containers
+// (implements the harness's MemoryReporter).
+func (p *containerPlatform) Spaces(name string) []*mem.Space {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*mem.Space
+	for _, g := range p.warm[name] {
+		out = append(out, g.space)
+	}
+	return out
+}
+
+// WarmCount reports the pool size for a function (for tests).
+func (p *containerPlatform) WarmCount(name string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.warm[name])
+}
+
+// encodedSize estimates the wire size of params.
+func encodedSize(params lang.Value) int {
+	if params == nil {
+		return 2
+	}
+	data, err := runtime.EncodeJSON(params)
+	if err != nil {
+		return 64
+	}
+	return len(data)
+}

@@ -1,0 +1,293 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lang"
+	"repro/internal/mem"
+	"repro/internal/runtime"
+	"repro/internal/sandbox"
+	"repro/internal/trace"
+	"repro/internal/vmm"
+)
+
+// FirecrackerMode selects the baseline's snapshot behaviour for the
+// §5.5 factor analysis.
+type FirecrackerMode int
+
+// Firecracker baseline modes.
+const (
+	// FCNoSnapshot boots a fresh microVM per cold start (the paper's
+	// "original version of Firecracker as a baseline, which does not
+	// use a snapshot").
+	FCNoSnapshot FirecrackerMode = iota
+	// FCOSSnapshot restores a VM-level snapshot taken right after the
+	// guest OS booted; the runtime still boots and the function still
+	// loads (and JITs) after restore — the "+VM-level OS snapshot"
+	// factor.
+	FCOSSnapshot
+)
+
+// String names the mode.
+func (m FirecrackerMode) String() string {
+	if m == FCOSSnapshot {
+		return "os-snapshot"
+	}
+	return "no-snapshot"
+}
+
+// firecrackerPlatform is the Firecracker baseline: microVM sandboxes,
+// one function per VM, warm pool by pausing VMs. It cannot run function
+// chains (§5.3).
+type firecrackerPlatform struct {
+	env     *Env
+	mode    FirecrackerMode
+	profile sandbox.Profile
+
+	mu     sync.Mutex
+	fns    map[string]*Function
+	warm   map[string][]*fcGuest
+	osSnap map[string]*vmm.Snapshot
+}
+
+type fcGuest struct {
+	vm        *vmm.MicroVM
+	fn        *Function
+	rt        *runtime.Runtime
+	binding   *NativeBinding
+	heapAlloc bool
+}
+
+// NewFirecracker returns the Firecracker baseline in the given mode.
+func NewFirecracker(env *Env, mode FirecrackerMode) Platform {
+	return &firecrackerPlatform{
+		env:     env,
+		mode:    mode,
+		profile: sandbox.Profiles(sandbox.ClassFirecracker),
+		fns:     make(map[string]*Function),
+		warm:    make(map[string][]*fcGuest),
+		osSnap:  make(map[string]*vmm.Snapshot),
+	}
+}
+
+// PlatformName implements Platform.
+func (p *firecrackerPlatform) PlatformName() string {
+	if p.mode == FCOSSnapshot {
+		return "firecracker+os-snapshot"
+	}
+	return "firecracker"
+}
+
+// Install implements Platform. In OS-snapshot mode installation boots a
+// VM once and captures the post-OS-boot image that invocations restore.
+func (p *firecrackerPlatform) Install(fn Function) (*InstallReport, error) {
+	if err := validate(&fn); err != nil {
+		return nil, err
+	}
+	report := &InstallReport{Function: fn.Name}
+	if p.mode == FCOSSnapshot {
+		clock := vclockNew()
+		vm, err := p.env.HV.CreateVM(vmm.DefaultConfig(), clock)
+		if err != nil {
+			return nil, err
+		}
+		if err := vm.BootKernel(clock); err != nil {
+			return nil, err
+		}
+		snap, err := p.env.HV.TakeSnapshot(vm, vmm.SnapOSOnly,
+			[]vmm.RegionSpec{{Kind: mem.KindKernel, Bytes: vmm.CostKernelBytes}},
+			osSnapshotWorkingSet, nil, clock)
+		if err != nil {
+			return nil, err
+		}
+		if err := vm.Stop(); err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		p.osSnap[fn.Name] = snap
+		p.mu.Unlock()
+		report.Duration = clock.Now()
+		report.SnapshotBytes = snap.TotalBytes()
+	}
+	p.mu.Lock()
+	p.fns[fn.Name] = &fn
+	p.mu.Unlock()
+	return report, nil
+}
+
+// osSnapshotWorkingSet is the post-boot resident set a restored OS
+// snapshot faults in before the runtime can start.
+const osSnapshotWorkingSet = 24 << 20
+
+// Remove implements Platform.
+func (p *firecrackerPlatform) Remove(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.fns[name]; !ok {
+		return fmt.Errorf("%s: no function %q", p.PlatformName(), name)
+	}
+	for _, g := range p.warm[name] {
+		if err := g.vm.Stop(); err != nil {
+			return err
+		}
+	}
+	delete(p.warm, name)
+	delete(p.osSnap, name)
+	delete(p.fns, name)
+	return nil
+}
+
+// Invoke implements Platform.
+func (p *firecrackerPlatform) Invoke(name string, params lang.Value, opts InvokeOptions) (*Invocation, error) {
+	p.mu.Lock()
+	fn, ok := p.fns[name]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%s: no function %q", p.PlatformName(), name)
+	}
+	inv := opts.Parent
+	if inv == nil {
+		inv = NewInvocation(name)
+	}
+	paramBytes := encodedSize(params)
+	inv.ChargeOther("param-deliver", p.profile.NetOpBase+timePerKB(p.profile, paramBytes))
+
+	guest, mode, err := p.acquire(fn, opts.Mode, inv)
+	if err != nil {
+		return nil, err
+	}
+	inv.Mode = mode
+	inv.SandboxID = guest.vm.ID
+
+	guest.rt.SetClock(inv.Clock)
+	guest.binding.Rebind(inv)
+
+	attributedBefore := inv.Breakdown.Total()
+	mark := inv.Clock.Now()
+	result, err := guest.rt.Call(fn.EntryName(), params)
+	span := inv.Clock.Since(mark)
+	inv.Breakdown.Add(trace.PhaseExec, "exec", span-(inv.Breakdown.Total()-attributedBefore))
+	if err != nil {
+		p.release(guest)
+		return inv, fmt.Errorf("%s: %s: %w", p.PlatformName(), name, err)
+	}
+	inv.Result = result
+	inv.Logs += guest.rt.Stdout.String()
+	guest.rt.Stdout.Reset()
+
+	if !guest.heapAlloc {
+		guest.vm.DirtyDuringExecution(guest.rt.Model.HeapPerInvokeBytes + fn.DirtyBytesPerRun)
+		guest.heapAlloc = true
+	}
+
+	if inv.Response == nil {
+		body := lang.Format(result)
+		inv.ChargeOther("response", p.profile.NetOpBase+timePerKB(p.profile, len(body)))
+		inv.Response = &Response{Status: 200, Body: body}
+	}
+	p.release(guest)
+	return inv, nil
+}
+
+func (p *firecrackerPlatform) acquire(fn *Function, mode StartMode, inv *Invocation) (*fcGuest, StartMode, error) {
+	p.mu.Lock()
+	pool := p.warm[fn.Name]
+	var guest *fcGuest
+	if mode != ModeCold && len(pool) > 0 {
+		guest = pool[len(pool)-1]
+		p.warm[fn.Name] = pool[:len(pool)-1]
+	}
+	p.mu.Unlock()
+
+	if guest != nil {
+		warmMark := inv.Clock.Now()
+		if err := guest.vm.ResumeWarm(inv.Clock); err != nil {
+			return nil, mode, err
+		}
+		inv.Breakdown.Add(trace.PhaseStartup, "vm-resume", inv.Clock.Since(warmMark))
+		return guest, ModeWarm, nil
+	}
+	if mode == ModeWarm {
+		return nil, mode, fmt.Errorf("%s: no warm microVM for %q", p.PlatformName(), fn.Name)
+	}
+
+	startMark := inv.Clock.Now()
+	var vm_ *vmm.MicroVM
+	var err error
+	switch p.mode {
+	case FCOSSnapshot:
+		p.mu.Lock()
+		snap := p.osSnap[fn.Name]
+		p.mu.Unlock()
+		if snap == nil {
+			return nil, mode, fmt.Errorf("%s: no OS snapshot for %q", p.PlatformName(), fn.Name)
+		}
+		vm_, err = p.env.HV.Restore(snap, vmm.RestoreOptions{}, inv.Clock)
+		if err != nil {
+			return nil, mode, err
+		}
+		if err := p.env.HV.SetupNetwork(vm_, snap.GuestIP, inv.Clock); err != nil {
+			return nil, mode, err
+		}
+	default:
+		vm_, err = p.env.HV.CreateVM(vmm.DefaultConfig(), inv.Clock)
+		if err != nil {
+			return nil, mode, err
+		}
+		if err := vm_.BootKernel(inv.Clock); err != nil {
+			return nil, mode, err
+		}
+		if err := p.env.HV.SetupNetwork(vm_, "192.168.0.2", inv.Clock); err != nil {
+			return nil, mode, err
+		}
+	}
+
+	rt := runtime.New(fn.Lang, inv.Clock)
+	guest = &fcGuest{vm: vm_, fn: fn, rt: rt}
+	guest.binding = &NativeBinding{
+		Profile: p.profile,
+		FS:      vm_.FS,
+		Couch:   p.env.Couch,
+		Inv:     inv,
+	}
+	guest.binding.Install(rt)
+
+	rt.Boot()
+	if err := rt.LoadModule(fn.Source); err != nil {
+		_ = vm_.Stop()
+		return nil, mode, err
+	}
+	if err := vm_.AllocGuest(mem.KindRuntime, rt.Model.RuntimeImageBytes); err != nil {
+		return nil, mode, err
+	}
+	if err := vm_.AllocGuest(mem.KindLibrary, rt.Model.LibraryBytes); err != nil {
+		return nil, mode, err
+	}
+	inv.Breakdown.Add(trace.PhaseStartup, "vm-boot+runtime", inv.Clock.Since(startMark))
+	return guest, ModeCold, nil
+}
+
+// Spaces returns the address spaces of the function's live (pooled)
+// microVMs, for the memory experiments (implements the harness's
+// MemoryReporter).
+func (p *firecrackerPlatform) Spaces(name string) []*mem.Space {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*mem.Space
+	for _, g := range p.warm[name] {
+		out = append(out, g.vm.Space())
+	}
+	return out
+}
+
+func (p *firecrackerPlatform) release(g *fcGuest) {
+	if err := g.vm.Pause(); err != nil {
+		// A VM that cannot pause is broken; drop it.
+		_ = g.vm.Stop()
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.warm[g.fn.Name] = append(p.warm[g.fn.Name], g)
+}

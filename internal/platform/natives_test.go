@@ -1,0 +1,114 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// invokeSnippet installs a one-expression function on OpenWhisk and
+// invokes it, returning the error (nil when the guest succeeded).
+func invokeSnippet(t *testing.T, body string) error {
+	t.Helper()
+	env := NewEnv(EnvConfig{})
+	p := NewOpenWhisk(env)
+	src := "func main(params) {\n" + body + "\n}"
+	if _, err := p.Install(Function{Name: "snippet", Source: src, Lang: runtime.LangNode}); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	_, err := p.Invoke("snippet", MustParams(nil), InvokeOptions{})
+	return err
+}
+
+// TestNativeArgumentValidation drives every host native's type-error
+// path: bad arguments must produce guest-visible errors, never panics.
+func TestNativeArgumentValidation(t *testing.T) {
+	cases := []struct {
+		name, body, wantSub string
+	}{
+		{"fileWriteBadPath", `return file_write(42, "data");`, "path must be string"},
+		{"fileWriteBadData", `return file_write("/f", 42);`, "data must be string"},
+		{"fileReadBadPath", `return file_read(null);`, "path must be string"},
+		{"fileReadMissing", `return file_read("/nope");`, "does not exist"},
+		{"fileAppendBadPath", `return file_append(1, "x");`, "path must be string"},
+		{"fileAppendBadData", `return file_append("/f", [1]);`, "data must be string"},
+		{"httpRespondBadStatus", `http_respond("ok", "body");`, "status must be int"},
+		{"httpRespondBadBody", `http_respond(200, 42);`, "body must be string"},
+		{"dbPutBadName", `return db_put(1, {"_id": "x"});`, "db name must be string"},
+		{"dbPutBadDoc", `return db_put("d", "not a map");`, "doc must be map"},
+		{"dbPutNoID", `return db_put("d", {"k": 1});`, "missing _id"},
+		{"dbGetBadName", `return db_get(1, "id");`, "db name must be string"},
+		{"dbGetBadID", `return db_get("d", 7);`, "id must be string"},
+		{"dbFindBadSelector", `return db_find("d", "x");`, "selector must be map"},
+		{"invokeBadName", `return invoke(42, {});`, "function name must be string"},
+		{"invokeUnknown", `return invoke("ghost", {});`, "no function"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := invokeSnippet(t, tc.body)
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestDBFindOnMissingDatabase(t *testing.T) {
+	// Missing databases read as empty result sets, not errors.
+	env := NewEnv(EnvConfig{})
+	p := NewOpenWhisk(env)
+	p.Install(Function{Name: "q", Lang: runtime.LangNode,
+		Source: `func main(params) { return len(db_find("ghostdb", {"k": 1})); }`})
+	inv, err := p.Invoke("q", MustParams(nil), InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Result != int64(0) {
+		t.Fatalf("result = %v", inv.Result)
+	}
+}
+
+func TestDBDeleteNative(t *testing.T) {
+	env := NewEnv(EnvConfig{})
+	p := NewOpenWhisk(env)
+	p.Install(Function{Name: "d", Lang: runtime.LangNode,
+		Source: `func main(params) {
+  let doc = db_put("t", {"_id": "x", "v": 1});
+  db_delete("t", "x", doc["_rev"]);
+  return db_get("t", "x");
+}`})
+	inv, err := p.Invoke("d", MustParams(nil), InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Result != nil {
+		t.Fatalf("deleted doc still reads %v", inv.Result)
+	}
+}
+
+func TestRebindSwitchesInvocation(t *testing.T) {
+	// A warm guest's binding must charge the *current* invocation.
+	env := NewEnv(EnvConfig{})
+	p := NewOpenWhisk(env)
+	p.Install(Function{Name: "io", Lang: runtime.LangNode,
+		Source: `func main(params) { db_put("t", {"_id": "a" + params.i}); return params.i; }`})
+	first, err := p.Invoke("io", MustParams(map[string]any{"i": 1}), InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Invoke("io", MustParams(map[string]any{"i": 2}), InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Breakdown.Others() == 0 {
+		t.Fatal("second invocation's others empty: binding still charges the first")
+	}
+	if first.Breakdown.Total() == 0 || second.Breakdown.Total() == 0 {
+		t.Fatal("zero totals")
+	}
+	// Second is warm and must be cheaper overall.
+	if second.Breakdown.Total() >= first.Breakdown.Total() {
+		t.Fatalf("warm total %v not below cold %v", second.Breakdown.Total(), first.Breakdown.Total())
+	}
+}

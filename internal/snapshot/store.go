@@ -1,0 +1,178 @@
+// Package snapshot stores VM snapshot images on (simulated) disk. The
+// paper's §6 notes that per-function snapshots cost disk space and
+// proposes bounding it with a replacement policy that keeps frequently
+// accessed functions' snapshots; Store implements exactly that: a byte
+// budget with least-recently-used eviction, plus pinning for snapshots
+// that must survive (e.g. while being restored).
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/vmm"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound  = errors.New("snapshot: not found (never installed or evicted)")
+	ErrTooLarge  = errors.New("snapshot: image exceeds store budget")
+	ErrAllPinned = errors.New("snapshot: budget exceeded and all images pinned")
+)
+
+// Store is a bounded snapshot repository keyed by function name.
+type Store struct {
+	mu        sync.Mutex
+	budget    uint64
+	used      uint64
+	seq       uint64
+	entries   map[string]*entry
+	evictions int
+}
+
+type entry struct {
+	snap     *vmm.Snapshot
+	size     uint64
+	lastUsed uint64
+	pins     int
+}
+
+// NewStore returns a store with the given disk budget in bytes (0 means
+// unbounded).
+func NewStore(budget uint64) *Store {
+	return &Store{budget: budget, entries: make(map[string]*entry)}
+}
+
+// Put stores (or replaces) the snapshot for a function, evicting
+// least-recently-used images as needed to fit the budget.
+func (s *Store) Put(name string, snap *vmm.Snapshot) error {
+	size := snap.TotalBytes()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.budget > 0 && size > s.budget {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, size, s.budget)
+	}
+	if old, ok := s.entries[name]; ok {
+		s.used -= old.size
+		delete(s.entries, name)
+	}
+	if err := s.evictFor(size); err != nil {
+		return err
+	}
+	s.seq++
+	s.entries[name] = &entry{snap: snap, size: size, lastUsed: s.seq}
+	s.used += size
+	return nil
+}
+
+// evictFor frees space until size fits; caller holds the lock.
+func (s *Store) evictFor(size uint64) error {
+	if s.budget == 0 {
+		return nil
+	}
+	for s.used+size > s.budget {
+		victim := ""
+		var oldest uint64
+		for name, e := range s.entries {
+			if e.pins > 0 {
+				continue
+			}
+			if victim == "" || e.lastUsed < oldest {
+				victim = name
+				oldest = e.lastUsed
+			}
+		}
+		if victim == "" {
+			return ErrAllPinned
+		}
+		s.used -= s.entries[victim].size
+		delete(s.entries, victim)
+		s.evictions++
+	}
+	return nil
+}
+
+// Get returns the snapshot for a function, marking it recently used.
+func (s *Store) Get(name string) (*vmm.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	s.seq++
+	e.lastUsed = s.seq
+	return e.snap, nil
+}
+
+// Pin prevents eviction of a function's snapshot until Unpin; pins
+// nest.
+func (s *Store) Pin(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.pins++
+	return nil
+}
+
+// Unpin releases one pin.
+func (s *Store) Unpin(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[name]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// Remove deletes a function's snapshot.
+func (s *Store) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[name]; ok {
+		s.used -= e.size
+		delete(s.entries, name)
+	}
+}
+
+// Has reports whether a snapshot is resident.
+func (s *Store) Has(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[name]
+	return ok
+}
+
+// UsedBytes returns current disk usage; Budget the configured limit;
+// Evictions how many images the replacement policy dropped.
+func (s *Store) UsedBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Budget returns the configured byte budget (0 = unbounded).
+func (s *Store) Budget() uint64 { return s.budget }
+
+// Evictions returns the number of LRU evictions performed.
+func (s *Store) Evictions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
+// Names returns resident snapshot names in lexical order.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.entries))
+	for name := range s.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,179 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+	"repro/internal/vmm"
+)
+
+// makeSnap builds a snapshot of roughly size bytes.
+func makeSnap(t *testing.T, hv *vmm.Hypervisor, bytes uint64) *vmm.Snapshot {
+	t.Helper()
+	clock := vclock.New()
+	v, err := hv.CreateVM(vmm.DefaultConfig(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.BootKernel(clock); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := hv.TakeSnapshot(v, vmm.SnapPostJIT,
+		[]vmm.RegionSpec{{Kind: mem.KindHeap, Bytes: bytes}}, bytes/4, nil, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func newHV() *vmm.Hypervisor {
+	return vmm.New(mem.NewHost(64<<30, 0.6), netsim.NewRouter(64))
+}
+
+func TestPutGet(t *testing.T) {
+	hv := newHV()
+	s := NewStore(0)
+	snap := makeSnap(t, hv, 10<<20)
+	if err := s.Put("fn", snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != snap {
+		t.Fatal("wrong snapshot returned")
+	}
+	if !s.Has("fn") || s.Has("other") {
+		t.Fatal("Has wrong")
+	}
+	if s.UsedBytes() != snap.TotalBytes() {
+		t.Fatalf("UsedBytes = %d", s.UsedBytes())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewStore(0)
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReplaceSameName(t *testing.T) {
+	hv := newHV()
+	s := NewStore(0)
+	a := makeSnap(t, hv, 10<<20)
+	b := makeSnap(t, hv, 20<<20)
+	s.Put("fn", a)
+	s.Put("fn", b)
+	got, _ := s.Get("fn")
+	if got != b {
+		t.Fatal("replace did not take")
+	}
+	if s.UsedBytes() != b.TotalBytes() {
+		t.Fatalf("UsedBytes = %d after replace", s.UsedBytes())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	hv := newHV()
+	s := NewStore(100 << 20)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("fn%d", i), makeSnap(t, hv, 40<<20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget holds 2 x 40 MiB; fn0 (oldest) must be gone.
+	if s.Has("fn0") {
+		t.Fatal("fn0 survived")
+	}
+	if !s.Has("fn1") || !s.Has("fn2") {
+		t.Fatal("newer snapshots evicted")
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("evictions = %d", s.Evictions())
+	}
+	// Touch fn1 so fn2 becomes the LRU victim.
+	if _, err := s.Get("fn1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fn3", makeSnap(t, hv, 40<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("fn2") || !s.Has("fn1") || !s.Has("fn3") {
+		t.Fatalf("LRU order wrong: %v", s.Names())
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	hv := newHV()
+	s := NewStore(10 << 20)
+	err := s.Put("big", makeSnap(t, hv, 50<<20))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	hv := newHV()
+	s := NewStore(100 << 20)
+	s.Put("fn0", makeSnap(t, hv, 40<<20))
+	s.Put("fn1", makeSnap(t, hv, 40<<20))
+	if err := s.Pin("fn0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pin("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("pin missing: %v", err)
+	}
+	// fn0 is pinned, so fn1 must be the victim despite being newer.
+	if err := s.Put("fn2", makeSnap(t, hv, 40<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("fn0") || s.Has("fn1") {
+		t.Fatalf("pin ignored: %v", s.Names())
+	}
+	// All pinned -> insertion fails.
+	if err := s.Pin("fn2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fn3", makeSnap(t, hv, 40<<20)); !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("err = %v", err)
+	}
+	s.Unpin("fn2")
+	if err := s.Put("fn3", makeSnap(t, hv, 40<<20)); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	hv := newHV()
+	s := NewStore(0)
+	s.Put("fn", makeSnap(t, hv, 10<<20))
+	s.Remove("fn")
+	if s.Has("fn") || s.UsedBytes() != 0 {
+		t.Fatal("remove incomplete")
+	}
+	s.Remove("fn") // idempotent
+}
+
+func TestNamesSorted(t *testing.T) {
+	hv := newHV()
+	s := NewStore(0)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		s.Put(n, makeSnap(t, hv, 1<<20))
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+	if s.Budget() != 0 {
+		t.Fatalf("budget = %d", s.Budget())
+	}
+}

@@ -1,0 +1,112 @@
+// Package trace records the latency breakdown of a simulated serverless
+// invocation. The paper's figures decompose end-to-end latency into three
+// phases — start-up, function execution, and everything else (network,
+// disk, queueing) — and this package is the common currency that every
+// platform implementation uses to report those phases.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phase identifies one component of an invocation's end-to-end latency.
+type Phase string
+
+// The three phases reported by Figures 6, 7, and 9 in the paper.
+const (
+	PhaseStartup Phase = "start-up" // sandbox/VM/runtime initialization, snapshot load
+	PhaseExec    Phase = "exec"     // user function execution (incl. in-run JIT)
+	PhaseOthers  Phase = "others"   // network, disk I/O, queueing, parameter fetch
+)
+
+// Breakdown accumulates virtual time per phase for one invocation.
+// The zero value is ready to use. Breakdown is not safe for concurrent
+// use; each invocation owns its own.
+type Breakdown struct {
+	durations map[Phase]time.Duration
+	events    []Event
+}
+
+// Event is a single timestamped accounting entry, useful for debugging a
+// simulated invocation ("what exactly did the cold start pay for?").
+type Event struct {
+	Phase Phase
+	Label string
+	Cost  time.Duration
+}
+
+// Add charges cost to the given phase with a human-readable label.
+func (b *Breakdown) Add(p Phase, label string, cost time.Duration) {
+	if cost < 0 {
+		panic(fmt.Sprintf("trace: negative cost %v for %s/%s", cost, p, label))
+	}
+	if b.durations == nil {
+		b.durations = make(map[Phase]time.Duration)
+	}
+	b.durations[p] += cost
+	b.events = append(b.events, Event{Phase: p, Label: label, Cost: cost})
+}
+
+// Get returns the accumulated time for one phase.
+func (b *Breakdown) Get(p Phase) time.Duration {
+	return b.durations[p]
+}
+
+// Startup, Exec, and Others are convenience accessors for the three
+// standard phases.
+func (b *Breakdown) Startup() time.Duration { return b.Get(PhaseStartup) }
+func (b *Breakdown) Exec() time.Duration    { return b.Get(PhaseExec) }
+func (b *Breakdown) Others() time.Duration  { return b.Get(PhaseOthers) }
+
+// Total returns the end-to-end latency: the sum over all phases.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b.durations {
+		t += d
+	}
+	return t
+}
+
+// Events returns the accounting log in insertion order. The returned
+// slice is owned by the Breakdown and must not be modified.
+func (b *Breakdown) Events() []Event { return b.events }
+
+// Merge adds every phase of other into b. It is used when an invocation
+// spans a chain of functions and the chain reports one combined breakdown.
+func (b *Breakdown) Merge(other *Breakdown) {
+	if other == nil {
+		return
+	}
+	for p, d := range other.durations {
+		b.Add(p, "merged", d)
+	}
+}
+
+// Clone returns an independent copy of the breakdown.
+func (b *Breakdown) Clone() *Breakdown {
+	c := &Breakdown{durations: make(map[Phase]time.Duration, len(b.durations))}
+	for p, d := range b.durations {
+		c.durations[p] = d
+	}
+	c.events = append(c.events, b.events...)
+	return c
+}
+
+// String renders the breakdown compactly, phases sorted by name, e.g.
+// "exec=1.2ms others=300µs start-up=12ms total=13.5ms".
+func (b *Breakdown) String() string {
+	phases := make([]string, 0, len(b.durations))
+	for p := range b.durations {
+		phases = append(phases, string(p))
+	}
+	sort.Strings(phases)
+	var sb strings.Builder
+	for _, p := range phases {
+		fmt.Fprintf(&sb, "%s=%v ", p, b.durations[Phase(p)])
+	}
+	fmt.Fprintf(&sb, "total=%v", b.Total())
+	return sb.String()
+}

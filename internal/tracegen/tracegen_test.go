@@ -1,0 +1,110 @@
+package tracegen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Seed: 7})
+	b := Generate(Config{Seed: 7})
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	c := Generate(Config{Seed: 8})
+	if len(c.Events) == len(a.Events) {
+		same := true
+		for i := range c.Events {
+			if c.Events[i] != a.Events[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestEventsSortedAndBounded(t *testing.T) {
+	tr := Generate(Config{Functions: 50, Duration: 30 * time.Minute, Seed: 3})
+	var prev time.Duration
+	for _, e := range tr.Events {
+		if e.At < prev {
+			t.Fatal("events not sorted")
+		}
+		if e.At >= tr.Config.Duration {
+			t.Fatalf("event at %v beyond duration %v", e.At, tr.Config.Duration)
+		}
+		prev = e.At
+	}
+}
+
+func TestPopularitySplit(t *testing.T) {
+	tr := Generate(Config{Functions: 1000, Duration: time.Hour, Seed: 5})
+	s := tr.Summarize()
+	if s.PopularFuncs != 186 {
+		t.Fatalf("popular funcs = %d, want 186 (18.6%% of 1000)", s.PopularFuncs)
+	}
+	if s.RareFuncs != 814 {
+		t.Fatalf("rare funcs = %d", s.RareFuncs)
+	}
+	// The realized >1/min fraction should land near the configured
+	// popular fraction (popular rate 2/min is safely above; rare rate
+	// far below).
+	if math.Abs(s.CalledMoreThanOncePerMin-0.186) > 0.05 {
+		t.Fatalf("frequent fraction = %.3f, want ~0.186", s.CalledMoreThanOncePerMin)
+	}
+}
+
+func TestRatesApproximatelyCorrect(t *testing.T) {
+	tr := Generate(Config{Functions: 200, Duration: 4 * time.Hour, Seed: 11})
+	counts := tr.CountByFunction()
+	var popTotal, rareTotal, popN, rareN float64
+	for _, f := range tr.Functions {
+		if f.Class == ClassPopular {
+			popTotal += float64(counts[f.Name])
+			popN++
+		} else {
+			rareTotal += float64(counts[f.Name])
+			rareN++
+		}
+	}
+	popMean := popTotal / popN    // expect ~2/min * 240min = 480
+	rareMean := rareTotal / rareN // expect 240/25 = 9.6
+	if popMean < 400 || popMean > 560 {
+		t.Fatalf("popular mean invocations = %.1f, want ~480", popMean)
+	}
+	if rareMean < 6 || rareMean > 14 {
+		t.Fatalf("rare mean invocations = %.1f, want ~9.6", rareMean)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	tr := Generate(Config{Functions: 10, Duration: 10 * time.Minute, Seed: 2})
+	if tr.ClassOf("fn-000") != ClassPopular {
+		t.Fatal("fn-000 should be popular")
+	}
+	if tr.ClassOf("fn-009") != ClassRare {
+		t.Fatal("fn-009 should be rare")
+	}
+	if tr.ClassOf("ghost") != "" {
+		t.Fatal("unknown function classed")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	tr := Generate(Config{})
+	if tr.Config.Functions != 100 || tr.Config.Duration != time.Hour {
+		t.Fatalf("defaults not applied: %+v", tr.Config)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+}

@@ -1,0 +1,204 @@
+package vmm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fs"
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+)
+
+// newRestoredFS is the root filesystem a restored clone sees: in real
+// Firecracker each clone gets a copy-on-write block device over the
+// snapshotted disk; here each clone starts from an independent image.
+func newRestoredFS() *fs.MemFS { return fs.NewMemFS() }
+
+// layoutSeed derives the address-space layout identity of a snapshot
+// image (FNV-1a over the unique snapshot id, whitened by SplitMix64).
+// The guest kernel rolled its ASLR dice exactly once — at the boot that
+// produced this image — so the seed is a pure function of the image.
+func layoutSeed(id string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// SnapshotKind distinguishes what the snapshot captured, for the
+// paper's §5.5 factor analysis.
+type SnapshotKind string
+
+// Snapshot kinds.
+const (
+	// SnapOSOnly is taken right after the guest OS boots (the "VM-level
+	// OS snapshot" factor): kernel pages are in the image, the language
+	// runtime is not.
+	SnapOSOnly SnapshotKind = "os-only"
+	// SnapPostLoad is taken after the runtime booted and the function
+	// loaded, but before any JIT compilation.
+	SnapPostLoad SnapshotKind = "post-load"
+	// SnapPostJIT is the Fireworks snapshot: runtime loaded, function
+	// loaded, and all user code JIT-compiled.
+	SnapPostJIT SnapshotKind = "post-jit"
+)
+
+// RegionSpec sizes one shared memory region of a snapshot image.
+type RegionSpec struct {
+	Kind  mem.Kind
+	Bytes uint64
+}
+
+// Snapshot is a VM-level memory snapshot: a set of shareable page
+// regions (mapped MAP_PRIVATE by every restored VM), the serialized
+// device/network identity, and an opaque guest-state handle that the
+// framework layer uses to reconstruct the language runtime at the
+// resume point.
+type Snapshot struct {
+	ID       string
+	Kind     SnapshotKind
+	VMConfig Config
+	// GuestIP is the snapshotted guest's network identity; every clone
+	// wakes up with this same address (§3.5).
+	GuestIP netsim.Addr
+	// GuestState carries the runtime continuation (owned by the
+	// framework layer; the hypervisor treats it as opaque bytes).
+	GuestState any
+	// ResidentWorkingSetBytes is how much of the image a restored VM
+	// faults in before it can run (drives restore latency).
+	ResidentWorkingSetBytes uint64
+	// LayoutSeed identifies the address-space layout baked into the
+	// image: every clone restored from this snapshot shares it (the
+	// ASLR-entropy concern of §6). Re-generating the snapshot draws a
+	// fresh seed, restoring layout diversity across snapshot
+	// generations.
+	LayoutSeed uint64
+
+	mu      sync.Mutex
+	regions []*mem.Region
+	specs   []RegionSpec
+	total   uint64
+	host    *mem.Host
+}
+
+// TotalBytes returns the snapshot image size on disk.
+func (s *Snapshot) TotalBytes() uint64 { return s.total }
+
+// Specs returns the snapshot's region layout.
+func (s *Snapshot) Specs() []RegionSpec { return append([]RegionSpec(nil), s.specs...) }
+
+// Sharers returns how many live address spaces currently map the
+// snapshot's first region (all regions share the same lifecycle).
+func (s *Snapshot) Sharers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.regions) == 0 {
+		return 0
+	}
+	return s.regions[0].Sharers()
+}
+
+// TakeSnapshot serializes a running VM's memory into a snapshot image.
+// The caller describes the guest memory layout (regions by kind) and the
+// resident working set; creation time is charged to clock. The source VM
+// keeps running (Firecracker pauses and resumes it around serialization,
+// which is inside the charged cost).
+func (h *Hypervisor) TakeSnapshot(v *MicroVM, kind SnapshotKind, specs []RegionSpec, workingSet uint64, guestState any, clock *vclock.Clock) (*Snapshot, error) {
+	if v.state != StateRunning && v.state != StatePaused {
+		return nil, fmt.Errorf("%w: snapshot in %s", ErrBadState, v.state)
+	}
+	var total uint64
+	for _, spec := range specs {
+		total += spec.Bytes
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("vmm: snapshot of %s has no memory regions", v.ID)
+	}
+	if total > v.Config.MemBytes {
+		return nil, fmt.Errorf("vmm: snapshot regions (%d bytes) exceed guest memory (%d bytes)", total, v.Config.MemBytes)
+	}
+	clock.Advance(CostSnapshotBase + time.Duration(total)*CostSnapshotPerByte)
+
+	snap := &Snapshot{
+		ID:                      "snap-" + v.ID,
+		Kind:                    kind,
+		VMConfig:                v.Config,
+		GuestIP:                 "192.168.0.2", // the canonical guest address baked into every image
+		GuestState:              guestState,
+		ResidentWorkingSetBytes: workingSet,
+		LayoutSeed:              layoutSeed("snap-" + v.ID),
+		specs:                   append([]RegionSpec(nil), specs...),
+		total:                   total,
+		host:                    h.Host,
+	}
+	for _, spec := range specs {
+		snap.regions = append(snap.regions, h.Host.NewRegion(string(spec.Kind)+"-"+snap.ID, spec.Kind, mem.PagesFor(spec.Bytes)))
+	}
+	return snap, nil
+}
+
+// RestoreOptions tunes the restore path.
+type RestoreOptions struct {
+	// REAPPrefetch loads the recorded working set with sequential reads
+	// instead of demand paging (the REAP optimization the paper cites
+	// as complementary).
+	REAPPrefetch bool
+}
+
+// Restore creates a new microVM from a snapshot: a fresh VM shell whose
+// address space maps every snapshot region copy-on-write. Restore cost
+// (fixed + working-set page faults) is charged to clock. The caller is
+// responsible for network setup and for reviving the guest state.
+func (h *Hypervisor) Restore(snap *Snapshot, opts RestoreOptions, clock *vclock.Clock) (*MicroVM, error) {
+	h.mu.Lock()
+	h.nextID++
+	id := fmt.Sprintf("fw-%04d", h.nextID)
+	h.mu.Unlock()
+
+	perPage := CostRestorePerPage
+	if opts.REAPPrefetch {
+		perPage = CostRestorePerPageREAP
+	}
+	pages := mem.PagesFor(snap.ResidentWorkingSetBytes)
+	clock.Advance(CostRestoreBase + time.Duration(pages)*perPage)
+
+	v := &MicroVM{
+		ID:           id,
+		Config:       snap.VMConfig,
+		FS:           nil, // set below: restored VMs see the snapshotted rootfs
+		hv:           h,
+		state:        StateRunning,
+		space:        h.Host.NewSpace(id),
+		mmds:         make(map[string]string),
+		booted:       true,
+		fromSnapshot: snap,
+	}
+	// A restored VM has its own (CoW at the block level in real
+	// Firecracker; independent here) view of the root filesystem.
+	v.FS = newRestoredFS()
+	v.space.AllocPrivate(mem.KindAnon, mem.PagesFor(CostVMMOverheadBytes))
+	snap.mu.Lock()
+	for _, r := range snap.regions {
+		v.space.MapRegion(r)
+		v.mapped = append(v.mapped, r)
+	}
+	snap.mu.Unlock()
+	h.mu.Lock()
+	h.vms[id] = v
+	h.mu.Unlock()
+	return v, nil
+}
+
+// ReadMMDSWithCost reads guest metadata charging the MMDS access cost,
+// the guest-side path used by resumed clones to learn their identity.
+func (v *MicroVM) ReadMMDSWithCost(key string, clock *vclock.Clock) (string, bool) {
+	clock.Advance(CostMMDSAccess)
+	return v.MMDS(key)
+}

@@ -1,0 +1,332 @@
+package vmm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+)
+
+func newHV() *Hypervisor {
+	return New(mem.NewHost(64<<30, 0.6), netsim.NewRouter(1024))
+}
+
+func TestVMLifecycle(t *testing.T) {
+	hv := newHV()
+	clock := vclock.New()
+	v, err := hv.CreateVM(DefaultConfig(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State() != StateCreated {
+		t.Fatalf("state = %v", v.State())
+	}
+	if clock.Now() != CostVMCreate {
+		t.Fatalf("create cost = %v", clock.Now())
+	}
+	if err := v.BootKernel(clock); err != nil {
+		t.Fatal(err)
+	}
+	if v.State() != StateRunning {
+		t.Fatalf("state = %v", v.State())
+	}
+	if clock.Now() != CostVMCreate+CostKernelBoot {
+		t.Fatalf("boot cost = %v", clock.Now())
+	}
+	if err := v.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	warmMark := clock.Now()
+	if err := v.ResumeWarm(clock); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Since(warmMark) != CostWarmResume {
+		t.Fatalf("warm resume cost = %v", clock.Since(warmMark))
+	}
+	if err := v.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if hv.VMCount() != 0 {
+		t.Fatalf("VMCount = %d", hv.VMCount())
+	}
+	if hv.Host.Used() != 0 {
+		t.Fatalf("leaked %d bytes", hv.Host.Used())
+	}
+}
+
+func TestStateMachineRejectsBadTransitions(t *testing.T) {
+	hv := newHV()
+	clock := vclock.New()
+	v, _ := hv.CreateVM(DefaultConfig(), clock)
+	if err := v.Pause(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("pause before boot: %v", err)
+	}
+	if err := v.ResumeWarm(clock); !errors.Is(err, ErrBadState) {
+		t.Fatalf("resume before pause: %v", err)
+	}
+	v.BootKernel(clock)
+	if err := v.BootKernel(clock); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double boot: %v", err)
+	}
+	v.Stop()
+	if err := v.Stop(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double stop: %v", err)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	hv := newHV()
+	if _, err := hv.CreateVM(Config{}, vclock.New()); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestKernelBootAllocatesMemory(t *testing.T) {
+	hv := newHV()
+	clock := vclock.New()
+	v, _ := hv.CreateVM(DefaultConfig(), clock)
+	before := hv.Host.Used()
+	v.BootKernel(clock)
+	grown := hv.Host.Used() - before
+	if grown != uint64(mem.PagesFor(CostKernelBytes))*mem.PageSize {
+		t.Fatalf("kernel pages = %d bytes", grown)
+	}
+	if err := v.AllocGuest(mem.KindRuntime, 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	if v.Space().PrivatePages(mem.KindRuntime) != mem.PagesFor(64<<20) {
+		t.Fatal("runtime alloc not accounted")
+	}
+}
+
+func TestMMDS(t *testing.T) {
+	hv := newHV()
+	clock := vclock.New()
+	v, _ := hv.CreateVM(DefaultConfig(), clock)
+	v.SetMMDS("fcID", "fc42")
+	got, ok := v.MMDS("fcID")
+	if !ok || got != "fc42" {
+		t.Fatalf("MMDS = %q %v", got, ok)
+	}
+	if _, ok := v.MMDS("missing"); ok {
+		t.Fatal("phantom MMDS key")
+	}
+	mark := clock.Now()
+	v.ReadMMDSWithCost("fcID", clock)
+	if clock.Since(mark) != CostMMDSAccess {
+		t.Fatalf("MMDS cost = %v", clock.Since(mark))
+	}
+}
+
+func TestSetupNetwork(t *testing.T) {
+	hv := newHV()
+	clock := vclock.New()
+	v, _ := hv.CreateVM(DefaultConfig(), clock)
+	v.BootKernel(clock)
+	if err := hv.SetupNetwork(v, "192.168.0.2", clock); err != nil {
+		t.Fatal(err)
+	}
+	if v.External == "" || v.Namespace == nil || v.Tap == nil {
+		t.Fatalf("network incomplete: %+v", v)
+	}
+	if err := hv.SetupNetwork(v, "192.168.0.2", clock); err == nil {
+		t.Fatal("double network setup accepted")
+	}
+	// Teardown releases the namespace.
+	v.Stop()
+	if hv.Router.NamespaceCount() != 0 {
+		t.Fatal("namespace leaked")
+	}
+}
+
+func takeTestSnapshot(t *testing.T, hv *Hypervisor, clock *vclock.Clock) *Snapshot {
+	t.Helper()
+	v, _ := hv.CreateVM(DefaultConfig(), clock)
+	v.BootKernel(clock)
+	snap, err := hv.TakeSnapshot(v, SnapPostJIT, []RegionSpec{
+		{Kind: mem.KindHeap, Bytes: 8 << 20},
+		{Kind: mem.KindKernel, Bytes: CostKernelBytes},
+		{Kind: mem.KindRuntime, Bytes: 64 << 20},
+	}, 32<<20, "guest-state", clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestSnapshotCreation(t *testing.T) {
+	hv := newHV()
+	clock := vclock.New()
+	mark := clock.Now()
+	snap := takeTestSnapshot(t, hv, clock)
+	_ = mark
+	wantBytes := uint64(8<<20) + CostKernelBytes + 64<<20
+	if snap.TotalBytes() != wantBytes {
+		t.Fatalf("TotalBytes = %d, want %d", snap.TotalBytes(), wantBytes)
+	}
+	if snap.GuestState != "guest-state" {
+		t.Fatal("guest state lost")
+	}
+	if snap.Sharers() != 0 {
+		t.Fatalf("fresh snapshot sharers = %d", snap.Sharers())
+	}
+	if len(snap.Specs()) != 3 {
+		t.Fatalf("specs = %v", snap.Specs())
+	}
+}
+
+func TestSnapshotRejectsOversize(t *testing.T) {
+	hv := newHV()
+	clock := vclock.New()
+	v, _ := hv.CreateVM(Config{VCPUs: 1, MemBytes: 64 << 20, DiskBytes: 1 << 30}, clock)
+	v.BootKernel(clock)
+	_, err := hv.TakeSnapshot(v, SnapOSOnly,
+		[]RegionSpec{{Kind: mem.KindKernel, Bytes: 128 << 20}}, 0, nil, clock)
+	if err == nil {
+		t.Fatal("snapshot larger than guest memory accepted")
+	}
+	if _, err := hv.TakeSnapshot(v, SnapOSOnly, nil, 0, nil, clock); err == nil {
+		t.Fatal("empty snapshot accepted")
+	}
+}
+
+func TestRestoreSharesMemoryCoW(t *testing.T) {
+	hv := newHV()
+	clock := vclock.New()
+	snap := takeTestSnapshot(t, hv, clock)
+	baseline := hv.Host.Used()
+
+	a, err := hv.Restore(snap, RestoreOptions{}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := hv.Host.Used()
+	b, err := hv.Restore(snap, RestoreOptions{}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterSecond := hv.Host.Used()
+
+	// First restore materializes the image + VMM overhead; the second
+	// adds only VMM overhead.
+	firstGrowth := afterFirst - baseline
+	secondGrowth := afterSecond - afterFirst
+	if firstGrowth <= snap.TotalBytes() {
+		t.Fatalf("first restore grew %d, want > image size %d", firstGrowth, snap.TotalBytes())
+	}
+	if secondGrowth >= snap.TotalBytes()/10 {
+		t.Fatalf("second restore grew %d — not sharing", secondGrowth)
+	}
+	if snap.Sharers() != 2 {
+		t.Fatalf("sharers = %d", snap.Sharers())
+	}
+	if a.State() != StateRunning || b.State() != StateRunning {
+		t.Fatal("restored VMs not running")
+	}
+	if a.RestoredFrom() != snap {
+		t.Fatal("provenance lost")
+	}
+
+	// Dirtying in one clone must not affect the other's view.
+	a.DirtyDuringExecution(4 << 20)
+	if b.Space().PSS() > a.Space().PSS() {
+		t.Fatal("clean clone has more PSS than dirty clone")
+	}
+	a.Stop()
+	b.Stop()
+	if hv.Host.Used() != baseline {
+		t.Fatalf("leak after stops: %d vs %d", hv.Host.Used(), baseline)
+	}
+}
+
+func TestRestoreCostAndREAP(t *testing.T) {
+	hv := newHV()
+	setup := vclock.New()
+	snap := takeTestSnapshot(t, hv, setup)
+
+	demand := vclock.New()
+	v1, _ := hv.Restore(snap, RestoreOptions{}, demand)
+	reap := vclock.New()
+	v2, _ := hv.Restore(snap, RestoreOptions{REAPPrefetch: true}, reap)
+	if reap.Now() >= demand.Now() {
+		t.Fatalf("REAP restore %v not faster than demand paging %v", reap.Now(), demand.Now())
+	}
+	pages := mem.PagesFor(32 << 20)
+	want := CostRestoreBase + time.Duration(pages)*CostRestorePerPage
+	if demand.Now() != want {
+		t.Fatalf("restore cost = %v, want %v", demand.Now(), want)
+	}
+	v1.Stop()
+	v2.Stop()
+}
+
+func TestDirtyKindTargetsRegions(t *testing.T) {
+	hv := newHV()
+	clock := vclock.New()
+	snap := takeTestSnapshot(t, hv, clock)
+	v, _ := hv.Restore(snap, RestoreOptions{}, clock)
+	defer v.Stop()
+
+	v.DirtyKind(mem.KindRuntime, 4<<20)
+	if got := v.Space().PrivatePages(mem.KindRuntime); got != mem.PagesFor(4<<20) {
+		t.Fatalf("runtime private pages = %d", got)
+	}
+	if v.Space().PrivatePages(mem.KindKernel) != 0 {
+		t.Fatal("kernel pages dirtied by runtime DirtyKind")
+	}
+	// Spilling beyond the region's size allocates private pages of the
+	// same kind.
+	v.DirtyKind(mem.KindHeap, 20<<20) // heap region is only 8 MiB
+	heapPages := v.Space().PrivatePages(mem.KindHeap)
+	if heapPages != mem.PagesFor(20<<20) {
+		t.Fatalf("heap pages after spill = %d, want %d", heapPages, mem.PagesFor(20<<20))
+	}
+}
+
+func TestDirtyDuringExecutionAccumulates(t *testing.T) {
+	hv := newHV()
+	clock := vclock.New()
+	snap := takeTestSnapshot(t, hv, clock)
+	// Two clones so that CoW-splitting actually moves pages from shared
+	// to private (with one sharer, PSS is invariant under splits).
+	v, _ := hv.Restore(snap, RestoreOptions{}, clock)
+	other, _ := hv.Restore(snap, RestoreOptions{}, clock)
+	defer v.Stop()
+	defer other.Stop()
+	v.DirtyDuringExecution(10 << 20)
+	first := v.Space().USS()
+	v.DirtyDuringExecution(10 << 20)
+	second := v.Space().USS()
+	grown := float64(second - first)
+	want := float64(10 << 20)
+	if grown < want*0.99 || grown > want*1.01 {
+		t.Fatalf("second dirty grew USS by %.0f, want ~%.0f", grown, want)
+	}
+	// With exactly two sharers PSS is symmetric under splits (the clean
+	// clone becomes sole owner of each split page's base frame), but
+	// the smem invariant must hold: PSS sums to host usage minus
+	// host-side (non-guest) overheads, and both must account the 20 MiB
+	// of new private data.
+	pssSum := v.Space().PSS() + other.Space().PSS()
+	if pssSum < float64(snap.TotalBytes()+20<<20) {
+		t.Fatalf("PSS sum %.0f below image+dirty", pssSum)
+	}
+}
+
+func TestSnapshotInBadStateFails(t *testing.T) {
+	hv := newHV()
+	clock := vclock.New()
+	v, _ := hv.CreateVM(DefaultConfig(), clock)
+	// Not booted yet.
+	_, err := hv.TakeSnapshot(v, SnapOSOnly,
+		[]RegionSpec{{Kind: mem.KindKernel, Bytes: 1 << 20}}, 0, nil, clock)
+	if !errors.Is(err, ErrBadState) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package workloads defines the serverless applications the paper
+// evaluates (Table 2): the four FaaSdom microbenchmarks in both Node.js
+// and Python runtime personalities, and the two ServerlessBench
+// real-world applications (Alexa Skills and data analysis), all written
+// in FaaSLang so the identical code runs on every platform.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/runtime"
+)
+
+// Workload couples a deployable function with its Table 2 metadata.
+type Workload struct {
+	platform.Function
+	Description string
+	Suite       string
+}
+
+// factSource is FaaSdom's faas-fact: repeated integer factorization, the
+// compute-intensive benchmark of Figures 6(a)/7(a).
+const factSource = `
+// faas-fact: integer factorization (FaaSdom).
+func factorize(n) {
+  let factors = [];
+  let d = 2;
+  while (d * d <= n) {
+    while (n % d == 0) {
+      push(factors, d);
+      n = n / d;
+    }
+    d = d + 1;
+  }
+  if (n > 1) { push(factors, n); }
+  return factors;
+}
+
+func main(params) {
+  let rounds = params.rounds;
+  if (rounds == null) { rounds = 80; }
+  let base = params.n;
+  if (base == null) { base = 9999991; }
+  let total = 0;
+  let i = 0;
+  while (i < rounds) {
+    let f = factorize(base + i);
+    total = total + len(f);
+    i = i + 1;
+  }
+  http_respond(200, "factored " + rounds + " ints, " + total + " factors");
+  return total;
+}
+`
+
+// matrixSource is FaaSdom's faas-matrix-mult: dense matrix
+// multiplication, the index-heavy numeric kernel where Numba's gain
+// peaks (Figure 7(b)).
+const matrixSource = `
+// faas-matrix-mult: multiplication of large matrices (FaaSdom).
+func build(n, seed) {
+  let m = [];
+  let i = 0;
+  while (i < n) {
+    let row = [];
+    let j = 0;
+    while (j < n) {
+      push(row, (i * 31 + j * 17 + seed) % 97);
+      j = j + 1;
+    }
+    push(m, row);
+    i = i + 1;
+  }
+  return m;
+}
+
+func matmul(a, b, n) {
+  let c = [];
+  let i = 0;
+  while (i < n) {
+    let row = [];
+    let j = 0;
+    while (j < n) {
+      let sum = 0;
+      let k = 0;
+      while (k < n) {
+        sum = sum + a[i][k] * b[k][j];
+        k = k + 1;
+      }
+      push(row, sum);
+      j = j + 1;
+    }
+    push(c, row);
+    i = i + 1;
+  }
+  return c;
+}
+
+func main(params) {
+  let n = params.n;
+  if (n == null) { n = 64; }
+  let a = build(n, 3);
+  let b = build(n, 7);
+  let c = matmul(a, b, n);
+  let check = c[0][0] + c[n - 1][n - 1];
+  http_respond(200, "matrix " + n + "x" + n + " check=" + check);
+  return check;
+}
+`
+
+// diskioSource is FaaSdom's faas-diskio: 10 KiB file reads and writes,
+// 100 times (Figures 6(c)/7(c)).
+const diskioSource = `
+// faas-diskio: disk I/O performance measurement (FaaSdom).
+func main(params) {
+  let iterations = params.iterations;
+  if (iterations == null) { iterations = 100; }
+  let block = repeat("x", 10240);
+  let bytes = 0;
+  let i = 0;
+  while (i < iterations) {
+    let path = "/tmp/faas-io-" + (i % 4);
+    file_write(path, block);
+    let data = file_read(path);
+    bytes = bytes + len(data);
+    i = i + 1;
+  }
+  http_respond(200, "diskio bytes=" + bytes);
+  return bytes;
+}
+`
+
+// netlatencySource is FaaSdom's faas-netlatency: respond immediately
+// with a small HTTP message (79-byte body, 500-byte header), isolating
+// platform start-up and network cost (Figures 6(d)/7(d)).
+const netlatencySource = `
+// faas-netlatency: immediate small HTTP response (FaaSdom).
+func main(params) {
+  // 79-byte body as in the paper's description.
+  let body = "{\"status\":\"ok\",\"service\":\"faas-netlatency\",\"note\":\"immediate 79B response!!!!\"}";
+  http_respond(200, body);
+  return "ok";
+}
+`
+
+// FaaSdom benchmark names.
+const (
+	NameFact       = "faas-fact"
+	NameMatrixMult = "faas-matrix-mult"
+	NameDiskIO     = "faas-diskio"
+	NameNetLatency = "faas-netlatency"
+)
+
+// Fact returns faas-fact for a language.
+func Fact(lang runtime.Lang) Workload {
+	return Workload{
+		Function: platform.Function{
+			Name:             qualified(NameFact, lang),
+			Source:           factSource,
+			Lang:             lang,
+			DefaultParams:    map[string]any{"n": 9999991, "rounds": 80},
+			DirtyBytesPerRun: 2 << 20,
+		},
+		Description: "Integer factorization",
+		Suite:       "FaaSdom",
+	}
+}
+
+// MatrixMult returns faas-matrix-mult for a language.
+func MatrixMult(lang runtime.Lang) Workload {
+	return Workload{
+		Function: platform.Function{
+			Name:             qualified(NameMatrixMult, lang),
+			Source:           matrixSource,
+			Lang:             lang,
+			DefaultParams:    map[string]any{"n": 64},
+			DirtyBytesPerRun: 6 << 20,
+		},
+		Description: "Multiplication of large matrices",
+		Suite:       "FaaSdom",
+	}
+}
+
+// DiskIO returns faas-diskio for a language.
+func DiskIO(lang runtime.Lang) Workload {
+	return Workload{
+		Function: platform.Function{
+			Name:             qualified(NameDiskIO, lang),
+			Source:           diskioSource,
+			Lang:             lang,
+			DefaultParams:    map[string]any{"iterations": 100},
+			DirtyBytesPerRun: 1 << 20,
+		},
+		Description: "Disk I/O performance measurement",
+		Suite:       "FaaSdom",
+	}
+}
+
+// NetLatency returns faas-netlatency for a language.
+func NetLatency(lang runtime.Lang) Workload {
+	return Workload{
+		Function: platform.Function{
+			Name:             qualified(NameNetLatency, lang),
+			Source:           netlatencySource,
+			Lang:             lang,
+			DefaultParams:    map[string]any{},
+			DirtyBytesPerRun: 512 << 10,
+		},
+		Description: "Network latency test that immediately responds upon invocation",
+		Suite:       "FaaSdom",
+	}
+}
+
+// FaaSdom returns the four microbenchmarks for a language, in the
+// paper's figure order.
+func FaaSdom(lang runtime.Lang) []Workload {
+	return []Workload{Fact(lang), MatrixMult(lang), DiskIO(lang), NetLatency(lang)}
+}
+
+// qualified appends the language to a benchmark name, matching the
+// paper's faas-fact-nodejs / faas-fact-python naming.
+func qualified(name string, lang runtime.Lang) string {
+	return fmt.Sprintf("%s-%s", name, lang)
+}

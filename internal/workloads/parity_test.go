@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+)
+
+// TestCrossPlatformParity runs every FaaSdom workload on all four
+// platforms and requires bit-identical results: the execution substrate
+// (container vs gVisor vs microVM vs snapshot resume, interpreter vs
+// JITted code) must never change what a function computes.
+func TestCrossPlatformParity(t *testing.T) {
+	lightParams := map[string]map[string]any{
+		NameFact + "-nodejs":       {"n": 5040, "rounds": 3},
+		NameFact + "-python":       {"n": 5040, "rounds": 3},
+		NameMatrixMult + "-nodejs": {"n": 10},
+		NameMatrixMult + "-python": {"n": 10},
+		NameDiskIO + "-nodejs":     {"iterations": 5},
+		NameDiskIO + "-python":     {"iterations": 5},
+		NameNetLatency + "-nodejs": nil,
+		NameNetLatency + "-python": nil,
+	}
+	platforms := []struct {
+		name string
+		mk   func(env *platform.Env) platform.Platform
+	}{
+		{"openwhisk", platform.NewOpenWhisk},
+		{"gvisor", platform.NewGVisor},
+		{"firecracker", func(env *platform.Env) platform.Platform {
+			return platform.NewFirecracker(env, platform.FCNoSnapshot)
+		}},
+		{"fireworks", func(env *platform.Env) platform.Platform {
+			return core.New(env, core.Options{})
+		}},
+	}
+	for _, lang_ := range []runtime.Lang{runtime.LangNode, runtime.LangPython} {
+		for _, w := range FaaSdom(lang_) {
+			params := platform.MustParams(lightParams[w.Name])
+			var reference lang.Value
+			var referencePlatform string
+			for _, pf := range platforms {
+				env := platform.NewEnv(platform.EnvConfig{})
+				p := pf.mk(env)
+				if _, err := p.Install(w.Function); err != nil {
+					t.Fatalf("%s install %s: %v", pf.name, w.Name, err)
+				}
+				inv, err := p.Invoke(w.Name, params, platform.InvokeOptions{})
+				if err != nil {
+					t.Fatalf("%s invoke %s: %v", pf.name, w.Name, err)
+				}
+				if reference == nil {
+					reference = inv.Result
+					referencePlatform = pf.name
+					continue
+				}
+				if !lang.Equal(inv.Result, reference) {
+					t.Errorf("%s: %s computed %v but %s computed %v",
+						w.Name, pf.name, inv.Result, referencePlatform, reference)
+				}
+				// And a second (warm / resumed) invocation agrees too.
+				again, err := p.Invoke(w.Name, params, platform.InvokeOptions{})
+				if err != nil {
+					t.Fatalf("%s re-invoke %s: %v", pf.name, w.Name, err)
+				}
+				if !lang.Equal(again.Result, reference) {
+					t.Errorf("%s: %s warm run computed %v, want %v",
+						w.Name, pf.name, again.Result, reference)
+				}
+			}
+		}
+	}
+}

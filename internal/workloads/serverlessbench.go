@@ -1,0 +1,345 @@
+package workloads
+
+import (
+	"repro/internal/platform"
+	"repro/internal/runtime"
+)
+
+// ServerlessBench application function names (Figure 8).
+const (
+	NameAlexaFrontend  = "alexa-frontend"
+	NameAlexaFact      = "alexa-fact"
+	NameAlexaReminder  = "alexa-reminder"
+	NameAlexaSmartHome = "alexa-smarthome"
+
+	NameWageInsert  = "wage-insert"
+	NameWagePersist = "wage-persist"
+	NameWageAnalyze = "wage-analyze"
+	NameWageReport  = "wage-report"
+)
+
+// alexaFrontendSource performs the voice-analysis step: tokenize the
+// user's utterance, score intent keywords, and dispatch to the matching
+// skill function (Figure 8(a)).
+const alexaFrontendSource = `
+// Alexa Skills frontend: intent analysis and skill dispatch.
+func tokenize(text) {
+  let words = split(lower(text), " ");
+  let out = [];
+  for (w in words) {
+    let t = trim(w);
+    if (len(t) > 0) { push(out, t); }
+  }
+  return out;
+}
+
+func scoreIntent(tokens, keywords) {
+  let score = 0;
+  for (t in tokens) {
+    for (k in keywords) {
+      if (t == k) { score = score + 2; }
+      if (contains(t, k)) { score = score + 1; }
+    }
+  }
+  return score;
+}
+
+func classify(text) {
+  let tokens = tokenize(text);
+  let factScore = scoreIntent(tokens, ["fact", "tell", "know", "trivia"]);
+  let remindScore = scoreIntent(tokens, ["remind", "reminder", "schedule", "calendar", "appointment"]);
+  let homeScore = scoreIntent(tokens, ["light", "lights", "door", "tv", "home", "turn", "lock", "status"]);
+  if (remindScore >= factScore && remindScore >= homeScore && remindScore > 0) {
+    return "reminder";
+  }
+  if (homeScore >= factScore && homeScore > 0) {
+    return "smarthome";
+  }
+  return "fact";
+}
+
+func main(params) {
+  let text = params.text;
+  if (text == null) { text = "tell me a fact"; }
+  let intent = classify(text);
+  let reply = null;
+  if (intent == "fact") {
+    reply = invoke("alexa-fact", {"query": text});
+  } else {
+    if (intent == "reminder") {
+      reply = invoke("alexa-reminder", params);
+    } else {
+      reply = invoke("alexa-smarthome", params);
+    }
+  }
+  let out = {"intent": intent, "reply": reply};
+  http_respond(200, json_encode(out));
+  return out;
+}
+`
+
+// alexaFactSource answers simple common-sense questions.
+const alexaFactSource = `
+// Alexa fact skill: answer simple common sense.
+func pick(query, facts) {
+  let h = 0;
+  let i = 0;
+  while (i < len(query)) {
+    // Cheap string hash over the utterance.
+    h = (h * 31 + len(substr(query, i, 1)) + i) % 1000003;
+    i = i + 1;
+  }
+  return facts[h % len(facts)];
+}
+
+func main(params) {
+  let query = params.query;
+  if (query == null) { query = "a fact"; }
+  let facts = [
+    "A year on Mercury is just 88 days long.",
+    "Octopuses have three hearts.",
+    "Honey never spoils.",
+    "Bananas are berries, but strawberries are not.",
+    "The Eiffel Tower grows about 15 cm in summer."
+  ];
+  return pick(query, facts);
+}
+`
+
+// alexaReminderSource stores and searches schedule entries in CouchDB;
+// reminder documents carry item, place, and URL fields as §5.3
+// describes.
+const alexaReminderSource = `
+// Alexa reminder skill: search or enter a schedule into CouchDB.
+func main(params) {
+  let action = params.action;
+  if (action == null) { action = "list"; }
+  if (action == "add") {
+    let doc = {
+      "_id": "reminder-" + params.id,
+      "type": "reminder",
+      "item": params.item,
+      "place": params.place,
+      "url": params.url
+    };
+    // Upsert: repeated adds of the same id update the schedule entry.
+    let existing = db_get("reminders", doc["_id"]);
+    if (existing != null) { doc["_rev"] = existing["_rev"]; }
+    let stored = db_put("reminders", doc);
+    return "saved reminder " + stored["_id"];
+  }
+  let found = db_find("reminders", {"type": "reminder"});
+  let items = [];
+  for (doc in found) {
+    push(items, doc["item"]);
+  }
+  return "you have " + len(items) + " reminders: " + join(items, ", ");
+}
+`
+
+// alexaSmartHomeSource reports and toggles device on/off status.
+const alexaSmartHomeSource = `
+// Alexa smart home skill: notify the on/off status of each device.
+func deviceDoc(name) {
+  let doc = db_get("smarthome", "device-" + name);
+  if (doc == null) {
+    doc = {"_id": "device-" + name, "name": name, "state": "off"};
+    doc = db_put("smarthome", doc);
+  }
+  return doc;
+}
+
+func main(params) {
+  let devices = ["light", "door", "tv"];
+  let action = params.action;
+  if (action == "toggle") {
+    let target = deviceDoc(params.device);
+    if (target.state == "on") {
+      target["state"] = "off";
+    } else {
+      target["state"] = "on";
+    }
+    db_put("smarthome", target);
+  }
+  let status = [];
+  for (d in devices) {
+    let doc = deviceDoc(d);
+    push(status, doc.name + "=" + doc.state);
+  }
+  return join(status, " ");
+}
+`
+
+// wageInsertSource validates and reformats incoming wage records, then
+// chains to the persistence function (Figure 8(b), data insertion).
+const wageInsertSource = `
+// Data analysis: validate wage input, normalize it, chain to persist.
+func validRecord(params) {
+  if (params.name == null) { return false; }
+  if (params.id == null) { return false; }
+  if (params.role == null) { return false; }
+  if (params.base == null) { return false; }
+  if (params.base < 0) { return false; }
+  return true;
+}
+
+func main(params) {
+  if (!validRecord(params)) {
+    http_respond(400, "invalid wage record");
+    return null;
+  }
+  let doc = {
+    "_id": "wage-" + params.id,
+    "type": "wage",
+    "name": params.name,
+    "id": params.id,
+    "role": lower(params.role),
+    "base": params.base
+  };
+  let stored = invoke("wage-persist", doc);
+  http_respond(200, "inserted " + stored["_id"]);
+  return stored;
+}
+`
+
+// wagePersistSource writes the normalized record to CouchDB.
+const wagePersistSource = `
+// Data analysis: persist one wage document into CouchDB (upsert:
+// repeated submissions for an employee update the record).
+func main(params) {
+  let existing = db_get("wages", params["_id"]);
+  if (existing != null) { params["_rev"] = existing["_rev"]; }
+  return db_put("wages", params);
+}
+`
+
+// wageAnalyzeSource computes bonuses, taxes, and per-role statistics
+// over all stored wages, then chains to the report writer (the dashed
+// analysis chain of Figure 8(b), triggered on database update).
+const wageAnalyzeSource = `
+// Data analysis: calculate bonuses and taxes, make statistics.
+func bonusFor(role, base) {
+  if (role == "manager") { return base / 5; }
+  if (role == "engineer") { return base / 4; }
+  return base / 10;
+}
+
+func taxFor(gross) {
+  // Progressive brackets.
+  let tax = 0;
+  if (gross > 100000) {
+    tax = tax + (gross - 100000) * 40 / 100;
+    gross = 100000;
+  }
+  if (gross > 50000) {
+    tax = tax + (gross - 50000) * 30 / 100;
+    gross = 50000;
+  }
+  tax = tax + gross * 15 / 100;
+  return tax;
+}
+
+func main(params) {
+  let wages = db_find("wages", {"type": "wage"});
+  let byRole = {};
+  let totalNet = 0;
+  for (doc in wages) {
+    let bonus = bonusFor(doc.role, doc.base);
+    let gross = doc.base + bonus;
+    let tax = taxFor(gross);
+    let net = gross - tax;
+    totalNet = totalNet + net;
+    if (byRole[doc.role] == null) {
+      byRole[doc.role] = {"count": 0, "net": 0};
+    }
+    byRole[doc.role]["count"] = byRole[doc.role]["count"] + 1;
+    byRole[doc.role]["net"] = byRole[doc.role]["net"] + net;
+  }
+  let stats = {
+    "_id": "stats-latest",
+    "type": "stats",
+    "employees": len(wages),
+    "total_net": totalNet,
+    "by_role": byRole
+  };
+  return invoke("wage-report", stats);
+}
+`
+
+// wageReportSource stores the analysis result back into CouchDB.
+const wageReportSource = `
+// Data analysis: store the computed statistics.
+func main(params) {
+  let existing = db_get("wage-stats", params["_id"]);
+  if (existing != null) {
+    params["_rev"] = existing["_rev"];
+  }
+  let stored = db_put("wage-stats", params);
+  return "stats for " + params.employees + " employees stored as " + stored["_rev"];
+}
+`
+
+// AlexaSkills returns the Alexa Skills application: a frontend chained
+// to three skill functions, all Node.js as in ServerlessBench.
+func AlexaSkills() []Workload {
+	lang := runtime.LangNode
+	return []Workload{
+		{Function: platform.Function{Name: NameAlexaFrontend, Source: alexaFrontendSource, Lang: lang,
+			DefaultParams:    map[string]any{"text": "tell me a fact"},
+			DirtyBytesPerRun: 2 << 20},
+			Description: "Apps run through Alexa AI device (frontend)", Suite: "ServerlessBench"},
+		{Function: platform.Function{Name: NameAlexaFact, Source: alexaFactSource, Lang: lang,
+			DefaultParams:    map[string]any{"query": "tell me a fact"},
+			DirtyBytesPerRun: 1 << 20},
+			Description: "Alexa fact skill", Suite: "ServerlessBench"},
+		{Function: platform.Function{Name: NameAlexaReminder, Source: alexaReminderSource, Lang: lang,
+			DefaultParams: map[string]any{"action": "add", "id": "prime", "item": "standup",
+				"place": "office", "url": "https://cal.example/standup"},
+			DirtyBytesPerRun: 1 << 20},
+			Description: "Alexa reminder skill (CouchDB)", Suite: "ServerlessBench"},
+		{Function: platform.Function{Name: NameAlexaSmartHome, Source: alexaSmartHomeSource, Lang: lang,
+			DefaultParams:    map[string]any{"action": "status"},
+			DirtyBytesPerRun: 1 << 20},
+			Description: "Alexa smart home skill", Suite: "ServerlessBench"},
+	}
+}
+
+// DataAnalysis returns the wage data-analysis application: the
+// insertion chain and the (database-triggered) analysis chain.
+func DataAnalysis() []Workload {
+	lang := runtime.LangNode
+	return []Workload{
+		{Function: platform.Function{Name: NameWageInsert, Source: wageInsertSource, Lang: lang,
+			DefaultParams: map[string]any{"name": "prime", "id": "p0", "role": "engineer",
+				"base": 52000},
+			DirtyBytesPerRun: 1 << 20},
+			Description: "Validate and normalize wage input", Suite: "ServerlessBench"},
+		{Function: platform.Function{Name: NameWagePersist, Source: wagePersistSource, Lang: lang,
+			// Matches the document wage-insert's priming produces, so
+			// repeated priming upserts one record instead of two.
+			DefaultParams: map[string]any{"_id": "wage-p0", "type": "wage", "name": "prime",
+				"id": "p0", "role": "engineer", "base": 52000},
+			DirtyBytesPerRun: 1 << 20},
+			Description: "Persist wage document to CouchDB", Suite: "ServerlessBench"},
+		{Function: platform.Function{Name: NameWageAnalyze, Source: wageAnalyzeSource, Lang: lang,
+			DefaultParams:    map[string]any{"trigger": "prime"},
+			DirtyBytesPerRun: 2 << 20},
+			Description: "Analyze wages: bonuses, taxes, statistics", Suite: "ServerlessBench"},
+		{Function: platform.Function{Name: NameWageReport, Source: wageReportSource, Lang: lang,
+			DefaultParams: map[string]any{"_id": "stats-latest", "type": "stats", "employees": 0,
+				"total_net": 0, "by_role": map[string]any{}},
+			DirtyBytesPerRun: 1 << 20},
+			Description: "Store analysis statistics", Suite: "ServerlessBench"},
+	}
+}
+
+// All returns every workload of Table 2 (FaaSdom in both languages plus
+// the two real-world applications).
+func All() []Workload {
+	var out []Workload
+	out = append(out, FaaSdom(runtime.LangNode)...)
+	out = append(out, FaaSdom(runtime.LangPython)...)
+	out = append(out, AlexaSkills()...)
+	out = append(out, DataAnalysis()...)
+	return out
+}
