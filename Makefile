@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check vet build test race
+
+# check is the tier-1 gate: everything must pass before a merge.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The cluster scheduler and the metrics registry are the two
+# concurrency-bearing subsystems; they additionally run under the race
+# detector.
+race:
+	$(GO) test -race ./internal/cluster/... ./internal/metrics/...

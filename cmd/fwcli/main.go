@@ -8,15 +8,18 @@
 //	fwcli -file fn.fl -lang nodejs -params '{"n": 42}'
 //	fwcli -file fn.fl -platform openwhisk -mode cold -repeat 3
 //	fwcli -builtin faas-fact-python -platform firecracker -mode cold
+//	fwcli -builtin faas-fact-python -repeat 5 -metrics text
 //	fwcli -list-builtins
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
 	"repro/internal/workloads"
@@ -33,6 +36,7 @@ func main() {
 	repeat := flag.Int("repeat", 1, "number of invocations")
 	listBuiltins := flag.Bool("list-builtins", false, "list built-in workloads and exit")
 	verbose := flag.Bool("v", false, "print the per-event accounting log")
+	metricsFmt := flag.String("metrics", "", `dump the host metrics snapshot after the run ("text" or "json")`)
 	flag.Parse()
 
 	if *listBuiltins {
@@ -89,6 +93,23 @@ func main() {
 				fmt.Printf("   %-10s %-18s %v\n", ev.Phase, ev.Label, ev.Cost)
 			}
 		}
+	}
+	if *metricsFmt != "" {
+		if err := dumpMetrics(os.Stdout, env.Metrics, *metricsFmt); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// dumpMetrics writes the registry snapshot in the requested format.
+func dumpMetrics(w io.Writer, reg *metrics.Registry, format string) error {
+	switch format {
+	case "text":
+		return reg.WriteText(w)
+	case "json":
+		return reg.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown -metrics format %q (want text or json)", format)
 	}
 }
 

@@ -70,6 +70,50 @@ func TestResolvePlatform(t *testing.T) {
 	}
 }
 
+func TestDumpMetrics(t *testing.T) {
+	env := platform.NewEnv(platform.EnvConfig{})
+	p, err := resolvePlatform("fireworks", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := resolveFunction("", "faas-fact-python", "x", "python")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Install(fn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(fn.Name, platform.MustParams(nil), platform.InvokeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := dumpMetrics(&buf, env.Metrics, "text"); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"counter vmm_snapshot_restores_total 1",
+		"histogram vmm_snapshot_restore_duration count=1",
+		`counter invoke_total{platform="fireworks"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dump missing %q:\n%s", want, text)
+		}
+	}
+
+	var jsonBuf strings.Builder
+	if err := dumpMetrics(&jsonBuf, env.Metrics, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonBuf.String(), `"counters"`) {
+		t.Error("json dump missing counters")
+	}
+	if err := dumpMetrics(&buf, env.Metrics, "csv"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
 func TestResolveMode(t *testing.T) {
 	cases := map[string]platform.StartMode{
 		"auto": platform.ModeAuto, "cold": platform.ModeCold, "warm": platform.ModeWarm,

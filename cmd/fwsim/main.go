@@ -19,6 +19,15 @@
 //	# inspect the platform
 //	curl -s localhost:8080/functions
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics
+//	curl -s 'localhost:8080/metrics?format=json'
+//
+// With -metrics the gateway is skipped entirely: fwsim drives a demo
+// workload across a simulated cluster and dumps the fleet-wide metrics
+// snapshot (restore latencies, CoW faults, queue dwell, per-node
+// placement) to stdout, then exits.
+//
+//	fwsim -metrics text -nodes 3 -invocations 12
 package main
 
 import (
@@ -28,12 +37,15 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
+	"repro/internal/workloads"
 )
 
 type server struct {
@@ -54,7 +66,17 @@ type installRequest struct {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	metricsDump := flag.String("metrics", "", `dump mode: run a cluster demo and write the metrics snapshot to stdout ("text" or "json"), then exit`)
+	nodes := flag.Int("nodes", 3, "cluster size for the -metrics demo")
+	invocations := flag.Int("invocations", 12, "invocations to run in the -metrics demo")
 	flag.Parse()
+
+	if *metricsDump != "" {
+		if err := runMetricsDemo(os.Stdout, *metricsDump, *nodes, *invocations); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	s := &server{
 		env:      platform.NewEnv(platform.EnvConfig{}),
@@ -62,15 +84,52 @@ func main() {
 	}
 	s.fw = core.New(s.env, core.Options{})
 
+	log.Printf("fwsim gateway on http://%s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+}
+
+// mux registers the gateway's routes.
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /install", s.handleInstall)
 	mux.HandleFunc("POST /invoke/{name}", s.handleInvoke)
 	mux.HandleFunc("GET /functions", s.handleFunctions)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("DELETE /functions/{name}", s.handleRemove)
+	return mux
+}
 
-	log.Printf("fwsim gateway on http://%s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+// runMetricsDemo drives a built-in workload across a Fireworks cluster
+// behind the least-inflight placement policy, then writes the shared
+// registry's snapshot: restore counts and latency histograms, CoW
+// faults, queue dwell, and per-node placement counters.
+func runMetricsDemo(w io.Writer, format string, nodes, invocations int) error {
+	if nodes <= 0 || invocations <= 0 {
+		return fmt.Errorf("fwsim: -nodes and -invocations must be positive")
+	}
+	c := cluster.New(nodes, cluster.LeastInflight, platform.EnvConfig{},
+		func(env *platform.Env) platform.Platform {
+			return core.New(env, core.Options{})
+		})
+	wl := workloads.NetLatency(rt.LangNode)
+	if err := c.Install(wl.Function); err != nil {
+		return err
+	}
+	params := platform.MustParams(nil)
+	for i := 0; i < invocations; i++ {
+		if _, _, err := c.Invoke(wl.Name, params, platform.InvokeOptions{}); err != nil {
+			return err
+		}
+	}
+	switch format {
+	case "text":
+		return c.Metrics().WriteText(w)
+	case "json":
+		return c.Metrics().WriteJSON(w)
+	default:
+		return fmt.Errorf("fwsim: unknown -metrics format %q (want text or json)", format)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -189,6 +248,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"snapshots":           s.env.Snaps.Names(),
 		"databases":           s.env.Couch.Names(),
 	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.env.Metrics.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.env.Metrics.WriteText(w)
 }
 
 func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -18,13 +19,7 @@ func newTestServer(t *testing.T) *httptest.Server {
 		installs: make(map[string]*platform.InstallReport),
 	}
 	s.fw = core.New(s.env, core.Options{})
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /install", s.handleInstall)
-	mux.HandleFunc("POST /invoke/{name}", s.handleInvoke)
-	mux.HandleFunc("GET /functions", s.handleFunctions)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("DELETE /functions/{name}", s.handleRemove)
-	ts := httptest.NewServer(mux)
+	ts := httptest.NewServer(s.mux())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -127,6 +122,80 @@ func TestFunctionsAndStatsEndpoints(t *testing.T) {
 	}
 	if st["live_microvms"].(float64) != 0 {
 		t.Fatal("VMs leaked between requests")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/install", installBody)
+	post(t, ts.URL+"/invoke/hello", `{"who": "fireworks"}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"vmm_snapshot_restores_total 1",
+		"histogram vmm_snapshot_restore_duration",
+		"mem_cow_faults_total",
+		"histogram msgbus_dwell",
+		`invoke_total{platform="fireworks"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := snap["counters"]; !ok {
+		t.Fatalf("json dump missing counters: %v", snap)
+	}
+}
+
+func TestMetricsDemoDump(t *testing.T) {
+	var buf strings.Builder
+	if err := runMetricsDemo(&buf, "text", 3, 6); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// The acceptance surface of the dump: restore count + latency
+	// histogram, CoW faults, per-node placement, and queue dwell.
+	for _, want := range []string{
+		"counter vmm_snapshot_restores_total 6",
+		"histogram vmm_snapshot_restore_duration count=6",
+		"mem_cow_faults_total",
+		`cluster_node_invocations_total{node="node-00"}`,
+		`cluster_node_invocations_total{node="node-01"}`,
+		`cluster_node_invocations_total{node="node-02"}`,
+		"histogram msgbus_dwell count=6",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("demo dump missing %q:\n%s", want, text)
+		}
+	}
+
+	var jsonBuf strings.Builder
+	if err := runMetricsDemo(&jsonBuf, "json", 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(jsonBuf.String()), &snap); err != nil {
+		t.Fatalf("json dump does not parse: %v", err)
+	}
+
+	if err := runMetricsDemo(io.Discard, "yaml", 1, 1); err == nil {
+		t.Fatal("unknown format accepted")
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/lang"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 )
 
@@ -59,6 +60,9 @@ type Node struct {
 
 	inflight    atomic.Int64
 	invocations atomic.Int64
+
+	invokeCnt *metrics.Counter
+	inflightG *metrics.Gauge
 }
 
 // Inflight returns the node's current in-flight invocation count.
@@ -69,8 +73,12 @@ func (n *Node) Invocations() int64 { return n.invocations.Load() }
 
 // Cluster is a set of backend nodes behind one placement policy.
 type Cluster struct {
-	policy Policy
-	nodes  []*Node
+	policy  Policy
+	nodes   []*Node
+	metrics *metrics.Registry
+
+	placements *metrics.Counter
+	rejections *metrics.Counter
 
 	mu sync.Mutex
 	rr int
@@ -78,19 +86,38 @@ type Cluster struct {
 
 // New builds a cluster of n nodes. mk constructs each node's platform
 // from its private host environment (e.g. a Fireworks framework).
+// Every node reports into one shared metrics registry (envCfg.Metrics,
+// or a fresh one), so host-level quantities — restore latencies, CoW
+// faults, queue dwell — aggregate fleet-wide in a single dump.
 func New(n int, policy Policy, envCfg platform.EnvConfig,
 	mk func(env *platform.Env) platform.Platform) *Cluster {
-	c := &Cluster{policy: policy}
+	reg := envCfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+		envCfg.Metrics = reg
+	}
+	c := &Cluster{
+		policy:     policy,
+		metrics:    reg,
+		placements: reg.Counter(metrics.Name("cluster_placements_total", "policy", policy.String())),
+		rejections: reg.Counter("cluster_rejections_total"),
+	}
 	for i := 0; i < n; i++ {
 		env := platform.NewEnv(envCfg)
+		name := fmt.Sprintf("node-%02d", i)
 		c.nodes = append(c.nodes, &Node{
-			Name:     fmt.Sprintf("node-%02d", i),
-			Env:      env,
-			Platform: mk(env),
+			Name:      name,
+			Env:       env,
+			Platform:  mk(env),
+			invokeCnt: reg.Counter(metrics.Name("cluster_node_invocations_total", "node", name)),
+			inflightG: reg.Gauge(metrics.Name("cluster_node_inflight", "node", name)),
 		})
 	}
 	return c
 }
+
+// Metrics returns the cluster's shared registry.
+func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
 
 // Nodes returns the cluster's nodes.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
@@ -119,8 +146,16 @@ func (c *Cluster) Remove(name string) error {
 	return nil
 }
 
-// pick selects a node per the policy, skipping nodes that are swapping.
+// pick selects a node per the policy, skipping nodes that are swapping,
+// and reserves one in-flight slot on it. Selection and reservation
+// happen atomically under c.mu: a concurrent pick sees every earlier
+// reservation, so a burst of simultaneous invocations spreads across
+// the fleet instead of all reading the same stale counts and piling
+// onto one node. The caller releases the slot when the invocation
+// completes.
 func (c *Cluster) pick() (*Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	candidates := make([]*Node, 0, len(c.nodes))
 	for _, n := range c.nodes {
 		if !n.Env.Mem.Swapping() {
@@ -128,48 +163,58 @@ func (c *Cluster) pick() (*Node, error) {
 		}
 	}
 	if len(candidates) == 0 {
+		c.rejections.Inc()
 		return nil, ErrClusterFull
 	}
-	switch c.policy {
-	case LeastMemory:
-		best := candidates[0]
-		for _, n := range candidates[1:] {
-			if n.Env.Mem.Used() < best.Env.Mem.Used() {
+	// Every policy scans from a rotating offset so exact ties spread
+	// across the fleet instead of always resolving to the first node
+	// (fresh equal nodes would otherwise starve the rest).
+	start := c.rr % len(candidates)
+	c.rr++
+	best := candidates[start]
+	for i := 1; i < len(candidates); i++ {
+		n := candidates[(start+i)%len(candidates)]
+		switch c.policy {
+		case LeastMemory:
+			// Memory usage only moves once an invocation actually runs,
+			// so in-flight reservations tie-break equal usage.
+			used, bestUsed := n.Env.Mem.Used(), best.Env.Mem.Used()
+			if used < bestUsed || (used == bestUsed && n.Inflight() < best.Inflight()) {
 				best = n
 			}
-		}
-		return best, nil
-	case LeastInflight:
-		best := candidates[0]
-		for _, n := range candidates[1:] {
+		case LeastInflight:
 			if n.Inflight() < best.Inflight() {
 				best = n
 			}
 		}
-		return best, nil
-	default:
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		n := candidates[c.rr%len(candidates)]
-		c.rr++
-		return n, nil
 	}
+	best.inflight.Add(1)
+	best.inflightG.Add(1)
+	c.placements.Inc()
+	return best, nil
+}
+
+// release returns a node's reserved in-flight slot.
+func (c *Cluster) release(n *Node) {
+	n.inflight.Add(-1)
+	n.inflightG.Add(-1)
 }
 
 // Invoke routes one invocation to a node and runs it there, returning
-// the invocation and the chosen node.
+// the invocation and the chosen node. The in-flight slot pick reserved
+// is held for the duration of the invocation.
 func (c *Cluster) Invoke(name string, params lang.Value, opts platform.InvokeOptions) (*platform.Invocation, *Node, error) {
 	node, err := c.pick()
 	if err != nil {
 		return nil, nil, err
 	}
-	node.inflight.Add(1)
-	defer node.inflight.Add(-1)
+	defer c.release(node)
 	inv, err := node.Platform.Invoke(name, params, opts)
 	if err != nil {
 		return inv, node, fmt.Errorf("cluster: %s: %w", node.Name, err)
 	}
 	node.invocations.Add(1)
+	node.invokeCnt.Inc()
 	return inv, node, nil
 }
 

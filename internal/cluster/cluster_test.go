@@ -127,6 +127,109 @@ func TestLeastInflightUnderConcurrency(t *testing.T) {
 	}
 }
 
+// invokeConcurrently fires 60 parallel invocations and requires every
+// one to succeed, the exact total to be counted, and no node to have
+// been starved — the regression surface for the placement race where
+// every racing pick read the same stale counts.
+func invokeConcurrently(t *testing.T, c *Cluster) {
+	t.Helper()
+	params := platform.MustParams(nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 60)
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := c.Invoke(invokeName(), params, platform.InvokeOptions{}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c.TotalInvocations() != 60 {
+		t.Fatalf("total = %d, want 60", c.TotalInvocations())
+	}
+	for _, s := range c.Stats() {
+		if s.Invocations == 0 {
+			t.Errorf("%s served nothing", s.Name)
+		}
+	}
+}
+
+func TestRoundRobinUnderConcurrency(t *testing.T) {
+	c := fireworksCluster(t, 3, RoundRobin, platform.EnvConfig{})
+	invokeConcurrently(t, c)
+}
+
+func TestLeastMemoryUnderConcurrency(t *testing.T) {
+	c := fireworksCluster(t, 3, LeastMemory, platform.EnvConfig{})
+	invokeConcurrently(t, c)
+}
+
+func TestClusterSharedMetrics(t *testing.T) {
+	c := fireworksCluster(t, 2, RoundRobin, platform.EnvConfig{})
+	params := platform.MustParams(nil)
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Invoke(invokeName(), params, platform.InvokeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := c.Metrics().Snapshot()
+	counters := make(map[string]int64)
+	for _, cs := range snap.Counters {
+		counters[cs.Name] = cs.Value
+	}
+	// Placements and per-node invocations come from the cluster layer.
+	if got := counters[`cluster_placements_total{policy="round-robin"}`]; got != 4 {
+		t.Errorf("placements = %d, want 4", got)
+	}
+	for _, node := range []string{"node-00", "node-01"} {
+		if got := counters[`cluster_node_invocations_total{node="`+node+`"}`]; got != 2 {
+			t.Errorf("%s invocations = %d, want 2", node, got)
+		}
+	}
+	// Host-level metrics aggregate fleet-wide through the shared
+	// registry: both nodes' installs and restores land in one place.
+	if got := counters[`vmm_snapshot_restores_total`]; got != 4 {
+		t.Errorf("restores = %d, want 4", got)
+	}
+	if counters[`fireworks_install_total`] != 2 {
+		t.Errorf("installs = %d, want 2", counters[`fireworks_install_total`])
+	}
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name == "vmm_snapshot_restore_duration" && h.Count == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing fleet-wide restore latency histogram with 4 samples")
+	}
+}
+
+func TestRejectionCounted(t *testing.T) {
+	cfg := platform.EnvConfig{MemBytes: 8 << 30, Swappiness: 0.6}
+	c := fireworksCluster(t, 1, RoundRobin, cfg)
+	c.Nodes()[0].Env.Mem.NewSpace("ballast").AllocPrivate("anon", (6<<30)/4096)
+	_, _, err := c.Invoke(invokeName(), platform.MustParams(nil), platform.InvokeOptions{})
+	if !errors.Is(err, ErrClusterFull) {
+		t.Fatalf("err = %v, want ErrClusterFull", err)
+	}
+	for _, cs := range c.Metrics().Snapshot().Counters {
+		if cs.Name == "cluster_rejections_total" {
+			if cs.Value != 1 {
+				t.Fatalf("rejections = %d, want 1", cs.Value)
+			}
+			return
+		}
+	}
+	t.Fatal("cluster_rejections_total not in snapshot")
+}
+
 func TestRemoveEverywhere(t *testing.T) {
 	c := fireworksCluster(t, 2, RoundRobin, platform.EnvConfig{})
 	if err := c.Remove(invokeName()); err != nil {

@@ -179,6 +179,8 @@ func (f *Framework) Install(fn platform.Function) (*platform.InstallReport, erro
 	}
 
 	report.Duration = clock.Now()
+	f.env.Metrics.Counter("fireworks_install_total").Inc()
+	f.env.Metrics.Histogram("fireworks_install_duration").ObserveDuration(report.Duration)
 	f.mu.Lock()
 	f.fns[fn.Name] = inst
 	f.mu.Unlock()
@@ -241,6 +243,7 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 		fetchMark := inv.Clock.Now()
 		snap, err = f.env.RemoteSnaps.Fetch(name, inv.Clock)
 		if err == nil {
+			f.env.Metrics.Counter("fireworks_remote_fetch_total").Inc()
 			inv.Breakdown.Add(trace.PhaseStartup, "snapshot-remote-fetch", inv.Clock.Since(fetchMark))
 			if perr := f.env.Snaps.Put(name, snap); perr != nil {
 				return nil, perr
@@ -248,6 +251,7 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 		}
 	}
 	if err != nil {
+		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
 		return nil, fmt.Errorf("fireworks: %q: %w (reinstall to regenerate)", name, err)
 	}
 
@@ -265,36 +269,57 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 		f.env.Bus.DeleteTopic(topic)
 		return nil, fmt.Errorf("fireworks: params: %w", err)
 	}
-	if _, _, err := f.env.Bus.Produce(topic, fcID, paramJSON); err != nil {
+	// Stamp the record with this invocation's clock position so the
+	// stamped consume after restore measures queue dwell (§3.6).
+	if _, _, err := f.env.Bus.ProduceAt(topic, fcID, paramJSON, inv.Clock.Now()); err != nil {
 		f.env.Bus.DeleteTopic(topic)
 		return nil, err
 	}
 	inv.ChargeOther("param-queue", f.profile.NetOpBase+platform.PerKB(f.profile, len(paramJSON)))
 
 	// ⑥ ⑦ Network namespace, then restore the snapshot. Any failure
-	// past this point must release the queue and the microVM.
+	// past this point must release the queue and the microVM. The
+	// startup span nests the three restore stages for tracing; spans
+	// are observational and never charge phases.
 	startupMark := inv.Clock.Now()
+	inv.Breakdown.BeginSpan("startup", trace.PhaseStartup, startupMark)
+	inv.Breakdown.BeginSpan("vm-restore", trace.PhaseStartup, startupMark)
 	vm, err := f.env.HV.Restore(snap, vmm.RestoreOptions{REAPPrefetch: f.opts.REAPPrefetch}, inv.Clock)
+	inv.Breakdown.EndSpan(inv.Clock.Now())
 	if err != nil {
+		inv.Breakdown.EndSpan(inv.Clock.Now())
 		f.env.Bus.DeleteTopic(topic)
+		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
 		return nil, err
 	}
-	if err := f.env.HV.SetupNetwork(vm, snap.GuestIP, inv.Clock); err != nil {
+	inv.Breakdown.BeginSpan("netns-setup", trace.PhaseStartup, inv.Clock.Now())
+	err = f.env.HV.SetupNetwork(vm, snap.GuestIP, inv.Clock)
+	inv.Breakdown.EndSpan(inv.Clock.Now())
+	if err != nil {
+		inv.Breakdown.EndSpan(inv.Clock.Now())
 		_ = vm.Stop()
 		f.env.Bus.DeleteTopic(topic)
+		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
 		return nil, err
 	}
 	vm.SetMMDS("fcID", fcID)
 	vm.SetMMDS("topic", topic)
 
 	template := snap.GuestState.(*runtime.SnapshotTemplate)
+	inv.Breakdown.BeginSpan("runtime-revive", trace.PhaseStartup, inv.Clock.Now())
 	rt, err := runtime.NewFromSnapshot(template, inv.Clock)
+	inv.Breakdown.EndSpan(inv.Clock.Now())
 	if err != nil {
+		inv.Breakdown.EndSpan(inv.Clock.Now())
 		_ = vm.Stop()
 		f.env.Bus.DeleteTopic(topic)
+		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
 		return nil, err
 	}
-	inv.Breakdown.Add(trace.PhaseStartup, "snapshot-restore", inv.Clock.Since(startupMark))
+	restoreSpan := inv.Clock.Since(startupMark)
+	inv.Breakdown.Add(trace.PhaseStartup, "snapshot-restore", restoreSpan)
+	inv.Breakdown.EndSpan(inv.Clock.Now())
+	f.env.Metrics.Histogram("fireworks_restore_duration").ObserveDuration(restoreSpan)
 
 	binding := &platform.NativeBinding{
 		Profile: f.profile,
@@ -316,7 +341,7 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 			if !ok {
 				return nil, fmt.Errorf("fireworks: MMDS has no topic")
 			}
-			msg, err := f.env.Bus.ConsumeLatest(topicName)
+			msg, err := f.env.Bus.ConsumeLatestAt(topicName, inv.Clock.Now())
 			if err != nil {
 				return nil, err
 			}
@@ -329,12 +354,15 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 	instance := &Instance{FcID: fcID, Topic: topic, VM: vm, rt: rt}
 	attributedBefore := inv.Breakdown.Total()
 	mark := inv.Clock.Now()
+	inv.Breakdown.BeginSpan("exec", trace.PhaseExec, mark)
 	result, err := rt.Call("__fireworks_continue")
 	span := inv.Clock.Since(mark)
+	inv.Breakdown.EndSpan(inv.Clock.Now())
 	inv.Breakdown.Add(trace.PhaseExec, "exec", span-(inv.Breakdown.Total()-attributedBefore))
 	if err != nil {
 		_ = vm.Stop()
 		f.env.Bus.DeleteTopic(topic)
+		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
 		return inv, fmt.Errorf("fireworks: %s: %w", name, err)
 	}
 	inv.Result = result
@@ -361,6 +389,11 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 			return inv, err
 		}
 		f.env.Bus.DeleteTopic(topic)
+	}
+	// Chained child invocations accumulate into the parent's breakdown;
+	// only the top-level request is a platform invocation.
+	if opts.Parent == nil {
+		platform.ObserveInvocation(f.env.Metrics, "fireworks", inv)
 	}
 	return inv, nil
 }

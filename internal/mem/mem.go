@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // PageSize is the guest page size in bytes (4 KiB, matching x86-64).
@@ -43,12 +45,21 @@ const (
 
 // Host models the physical memory of one server.
 type Host struct {
-	mu         sync.Mutex
-	capacity   uint64 // bytes of physical memory
-	swappiness float64
-	usedPages  uint64
-	regions    map[string]*Region
-	nextRegion int
+	mu           sync.Mutex
+	capacity     uint64 // bytes of physical memory
+	swappiness   float64
+	usedPages    uint64
+	privatePages uint64 // pages not backed by a shared region frame
+	regions      map[string]*Region
+	nextRegion   int
+
+	// Observability (nil-safe; see Instrument).
+	cowFaults  *metrics.Counter
+	swapEvents *metrics.Counter
+	usedGauge  *metrics.Gauge
+	privGauge  *metrics.Gauge
+	sharedG    *metrics.Gauge
+	swapGauge  *metrics.Gauge
 }
 
 // NewHost returns a host with the given physical capacity in bytes and a
@@ -63,6 +74,29 @@ func NewHost(capacity uint64, swappiness float64) *Host {
 		swappiness: swappiness,
 		regions:    make(map[string]*Region),
 	}
+}
+
+// Instrument attaches the host to a metrics registry. CoW faults and
+// swap-threshold crossings are counted; physical usage is exported as
+// gauges split into privately-owned pages and shared region frames
+// (the quantity the paper's PSS/USS experiments, Figures 10 and 12,
+// are about).
+func (h *Host) Instrument(reg *metrics.Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cowFaults = reg.Counter("mem_cow_faults_total")
+	h.swapEvents = reg.Counter("mem_swap_events_total")
+	h.usedGauge = reg.Gauge("mem_used_bytes")
+	h.privGauge = reg.Gauge("mem_private_bytes")
+	h.sharedG = reg.Gauge("mem_shared_bytes")
+	h.swapGauge = reg.Gauge("mem_swapping")
+}
+
+// publishLocked refreshes the usage gauges; caller holds h.mu.
+func (h *Host) publishLocked() {
+	h.usedGauge.Set(int64(h.usedPages) * PageSize)
+	h.privGauge.Set(int64(h.privatePages) * PageSize)
+	h.sharedG.Set(int64(h.usedPages-h.privatePages) * PageSize)
 }
 
 // Capacity returns the host's physical memory in bytes.
@@ -84,14 +118,40 @@ func (h *Host) Used() uint64 {
 // Swapping reports whether current usage has crossed the swap threshold.
 func (h *Host) Swapping() bool { return h.Used() > h.SwapThreshold() }
 
-func (h *Host) addPages(n int64) {
+func (h *Host) addPages(n int64) { h.adjust(n, 0) }
+
+// adjust moves the host's page accounting: pages is the total physical
+// frame delta, private the subset that is privately owned (anonymous
+// allocations and CoW copies). Shared frame usage is derived as
+// total - private. Crossing the swap threshold upward counts one swap
+// event.
+func (h *Host) adjust(pages, private int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	next := int64(h.usedPages) + n
+	next := int64(h.usedPages) + pages
 	if next < 0 {
 		panic("mem: host page accounting went negative")
 	}
+	nextPriv := int64(h.privatePages) + private
+	if nextPriv < 0 {
+		panic("mem: host private-page accounting went negative")
+	}
+	thr := int64(float64(h.capacity)*h.swappiness) / PageSize
+	wasSwapping := int64(h.usedPages) > thr
 	h.usedPages = uint64(next)
+	h.privatePages = uint64(nextPriv)
+	nowSwapping := next > thr
+	if nowSwapping && !wasSwapping {
+		h.swapEvents.Inc()
+	}
+	if nowSwapping != wasSwapping {
+		v := int64(0)
+		if nowSwapping {
+			v = 1
+		}
+		h.swapGauge.Set(v)
+	}
+	h.publishLocked()
 }
 
 // NewRegion creates a shareable region of pages on this host. The
@@ -239,7 +299,10 @@ func (s *Space) DirtyPage(r *Region, page int) bool {
 	delta := int64(1) + int64(r.recheckPage(page))
 	h.mu.Unlock()
 	s.private[r.kind]++
-	h.addPages(delta)
+	h.cowFaults.Inc()
+	// The CoW copy is a new private page; the recheck remainder adjusts
+	// shared base frames.
+	h.adjust(delta, 1)
 	return true
 }
 
@@ -266,7 +329,7 @@ func (s *Space) AllocPrivate(kind Kind, pages int) {
 		panic("mem: negative private allocation")
 	}
 	s.private[kind] += pages
-	s.host.addPages(int64(pages))
+	s.host.adjust(int64(pages), int64(pages))
 }
 
 // FreePrivate releases n private pages of the given kind.
@@ -276,7 +339,7 @@ func (s *Space) FreePrivate(kind Kind, pages int) {
 		panic(fmt.Sprintf("mem: freeing %d %s pages but only %d allocated", pages, kind, s.private[kind]))
 	}
 	s.private[kind] -= pages
-	s.host.addPages(-int64(pages))
+	s.host.adjust(-int64(pages), -int64(pages))
 }
 
 // Free releases everything the space holds: region mappings (dropping
@@ -315,7 +378,9 @@ func (s *Space) Free() {
 			}
 		}
 		h.mu.Unlock()
-		h.addPages(delta)
+		// -len(ref.dirty) of delta is this space's CoW copies (private);
+		// the rest adjusts shared base frames.
+		h.adjust(delta, -int64(len(ref.dirty)))
 	}
 	var privatePages int64
 	for _, n := range s.private {
@@ -323,7 +388,7 @@ func (s *Space) Free() {
 	}
 	// Region CoW copies were already subtracted above; subtract only
 	// the remaining pure-anonymous portion.
-	h.addPages(-(privatePages - dirtyTotal))
+	h.adjust(-(privatePages-dirtyTotal), -(privatePages-dirtyTotal))
 	s.refs = nil
 	s.private = nil
 	s.freed = true

@@ -1,0 +1,350 @@
+// Package metrics is the platform-wide measurement substrate: a
+// concurrency-safe registry of named counters, gauges, and fixed-bucket
+// histograms that every layer of the simulated stack (hypervisor,
+// memory, message bus, snapshot store, platforms, cluster) reports
+// into. The paper's argument is quantitative — Figures 6-12 decompose
+// invocation latency and memory sharing — and this package gives every
+// experiment an aggregate, queryable view of those quantities:
+// snapshot restores, JIT hits, CoW faults, queue dwell, placement
+// decisions.
+//
+// Timestamps are virtual (internal/vclock), so a metrics snapshot is a
+// pure function of the workload. Percentile math reuses
+// internal/stats.Percentile over retained raw samples, so histogram
+// quantiles are exact up to the sample window.
+//
+// Instruments are nil-safe: every method works on a nil receiver as a
+// no-op, and a nil *Registry hands out nil instruments. Components can
+// therefore record unconditionally and stay zero-cost when a host is
+// built without a registry.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// UnitDuration marks a histogram whose observations are virtual-time
+// durations in nanoseconds; exporters render them as time.Duration.
+const UnitDuration = "ns"
+
+// maxSamples bounds the raw-sample window a histogram retains for
+// exact percentiles. Past the bound the window wraps (a deterministic
+// ring), so quantiles describe the most recent maxSamples
+// observations.
+const maxSamples = 1 << 16
+
+// DefaultLatencyBuckets are the fixed upper bounds (in nanoseconds)
+// used by duration histograms, spanning the paper's measured range:
+// tens of microseconds (warm isolate starts) to seconds (OpenWhisk
+// cold starts and installs).
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		float64(100 * time.Microsecond),
+		float64(300 * time.Microsecond),
+		float64(1 * time.Millisecond),
+		float64(3 * time.Millisecond),
+		float64(10 * time.Millisecond),
+		float64(30 * time.Millisecond),
+		float64(100 * time.Millisecond),
+		float64(300 * time.Millisecond),
+		float64(1 * time.Second),
+		float64(3 * time.Second),
+		float64(10 * time.Second),
+	}
+}
+
+// Registry is a concurrency-safe collection of named instruments.
+// Instruments are created on first use and live for the registry's
+// lifetime. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu         sync.RWMutex
+	clock      *vclock.Clock
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// SetClock attaches a virtual clock; snapshots are stamped with its
+// current time. Safe to call at any point (including never).
+func (r *Registry) SetClock(c *vclock.Clock) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = c
+	r.mu.Unlock()
+}
+
+// Name builds a labeled metric name, e.g.
+// Name("cluster_node_invocations_total", "node", "node-01") =>
+// `cluster_node_invocations_total{node="node-01"}`. Label pairs are
+// sorted by key so the same label set always yields the same name.
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("metrics: odd label list for %s: %v", base, kv))
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", p.k, p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named duration histogram (default latency
+// buckets, nanosecond unit), creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWith(name, UnitDuration, DefaultLatencyBuckets())
+}
+
+// HistogramWith returns the named histogram, creating it with the
+// given unit and fixed bucket upper bounds on first use. Bounds must
+// be ascending; an implicit +Inf bucket is appended. If the histogram
+// already exists the unit and bounds arguments are ignored.
+func (r *Registry) HistogramWith(name, unit string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %s bounds not ascending: %v", name, bounds))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{
+			name:   name,
+			unit:   unit,
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing count. Safe for concurrent
+// use; all methods are no-ops on a nil receiver.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be non-negative; counters never decrease).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("metrics: counter %s decremented by %d", c.name, n))
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (queue depth, live VMs,
+// bytes in use). Safe for concurrent use; no-ops on a nil receiver.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates observations into fixed buckets and keeps a
+// bounded window of raw samples for exact percentiles. Safe for
+// concurrent use; no-ops on a nil receiver.
+type Histogram struct {
+	name   string
+	unit   string
+	bounds []float64 // ascending upper bounds; +Inf implicit last
+
+	mu      sync.Mutex
+	counts  []uint64 // len(bounds)+1
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64 // ring of the most recent maxSamples observations
+	next    int       // ring cursor
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.samples) < maxSamples {
+		h.samples = append(h.samples, v)
+	} else {
+		h.samples[h.next] = v
+		h.next = (h.next + 1) % maxSamples
+	}
+}
+
+// ObserveDuration records a virtual-time duration.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Percentile returns the p-th percentile (0-100) over the retained
+// sample window, computed with internal/stats.Percentile.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return stats.Percentile(h.samples, p)
+}
+
+// snapshotTime returns the registry's virtual time, or 0 without a
+// clock.
+func (r *Registry) snapshotTime() time.Duration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.clock == nil {
+		return 0
+	}
+	return r.clock.Now()
+}

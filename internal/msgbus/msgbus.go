@@ -13,6 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // Errors returned by the broker.
@@ -29,12 +32,37 @@ type Message struct {
 	Offset    int64
 	Key       string
 	Value     []byte
+	// ProducedAt is the producer's virtual-clock position when the
+	// record was appended (see ProduceAt); stamped reports whether it
+	// was set, so dwell time is only measured for stamped records.
+	ProducedAt time.Duration
+	stamped    bool
 }
 
 // Broker is an in-process message bus. It is safe for concurrent use.
 type Broker struct {
 	mu     sync.Mutex
 	topics map[string]*topic
+
+	// Observability (nil-safe; see Instrument).
+	depth    *metrics.Gauge
+	produced *metrics.Counter
+	consumed *metrics.Counter
+	dwell    *metrics.Histogram
+}
+
+// Instrument attaches the broker to a metrics registry: queue depth
+// across all topics, produced/consumed counters, and the queue dwell
+// histogram (virtual time a record waits between ProduceAt and a
+// stamped consume — the §3.6 parameter-passing cost the paper folds
+// into "others").
+func (b *Broker) Instrument(reg *metrics.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.depth = reg.Gauge("msgbus_queue_depth")
+	b.produced = reg.Counter("msgbus_produced_total")
+	b.consumed = reg.Counter("msgbus_consumed_total")
+	b.dwell = reg.Histogram("msgbus_dwell")
 }
 
 type topic struct {
@@ -85,6 +113,15 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 func (b *Broker) DeleteTopic(name string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if t, ok := b.topics[name]; ok {
+		var records int64
+		for _, p := range t.partitions {
+			p.mu.Lock()
+			records += int64(len(p.records))
+			p.mu.Unlock()
+		}
+		b.depth.Add(-records)
+	}
 	delete(b.topics, name)
 }
 
@@ -122,6 +159,17 @@ func (t *topic) partitionFor(key string) *partition {
 
 // Produce appends a record and returns its partition and offset.
 func (b *Broker) Produce(topicName, key string, value []byte) (partitionID int, offset int64, err error) {
+	return b.produce(topicName, key, value, 0, false)
+}
+
+// ProduceAt is Produce with the producer's virtual-clock position; the
+// record is stamped so a later stamped consume can measure queue dwell
+// on the same clock.
+func (b *Broker) ProduceAt(topicName, key string, value []byte, at time.Duration) (partitionID int, offset int64, err error) {
+	return b.produce(topicName, key, value, at, true)
+}
+
+func (b *Broker) produce(topicName, key string, value []byte, at time.Duration, stamped bool) (partitionID int, offset int64, err error) {
 	t, err := b.topic(topicName)
 	if err != nil {
 		return 0, 0, err
@@ -137,12 +185,16 @@ func (b *Broker) Produce(topicName, key string, value []byte) (partitionID int, 
 	defer p.mu.Unlock()
 	offset = int64(len(p.records))
 	p.records = append(p.records, Message{
-		Topic:     topicName,
-		Partition: partitionID,
-		Offset:    offset,
-		Key:       key,
-		Value:     append([]byte(nil), value...),
+		Topic:      topicName,
+		Partition:  partitionID,
+		Offset:     offset,
+		Key:        key,
+		Value:      append([]byte(nil), value...),
+		ProducedAt: at,
+		stamped:    stamped,
 	})
+	b.produced.Inc()
+	b.depth.Add(1)
 	p.cond.Broadcast()
 	return partitionID, offset, nil
 }
@@ -179,7 +231,22 @@ func (b *Broker) ConsumeLatest(topicName string) (Message, error) {
 	if len(p.records) == 0 {
 		return Message{}, fmt.Errorf("%w: %q", ErrEmpty, topicName)
 	}
+	b.consumed.Inc()
 	return p.records[len(p.records)-1], nil
+}
+
+// ConsumeLatestAt is ConsumeLatest with the consumer's virtual-clock
+// position. When the returned record was produced with ProduceAt on
+// the same clock, the elapsed queue dwell is recorded.
+func (b *Broker) ConsumeLatestAt(topicName string, at time.Duration) (Message, error) {
+	msg, err := b.ConsumeLatest(topicName)
+	if err != nil {
+		return msg, err
+	}
+	if msg.stamped && at >= msg.ProducedAt {
+		b.dwell.ObserveDuration(at - msg.ProducedAt)
+	}
+	return msg, nil
 }
 
 // WaitLatest blocks until the partition has a record at or past minCount
@@ -196,6 +263,7 @@ func (b *Broker) WaitLatest(topicName string, minCount int) (Message, error) {
 	for len(p.records) < minCount {
 		p.cond.Wait()
 	}
+	b.consumed.Inc()
 	return p.records[len(p.records)-1], nil
 }
 

@@ -144,6 +144,7 @@ func (p *containerPlatform) Invoke(name string, params lang.Value, opts InvokeOp
 
 	guest, mode, err := p.acquire(fn, opts.Mode, inv, opts.At)
 	if err != nil {
+		observeInvokeError(p.env.Metrics, p.name)
 		return nil, err
 	}
 	inv.Mode = mode
@@ -172,6 +173,7 @@ func (p *containerPlatform) Invoke(name string, params lang.Value, opts InvokeOp
 	}
 	if err != nil {
 		p.release(guest)
+		observeInvokeError(p.env.Metrics, p.name)
 		return inv, fmt.Errorf("%s: %s: %w", p.name, name, err)
 	}
 	inv.Result = result
@@ -196,6 +198,9 @@ func (p *containerPlatform) Invoke(name string, params lang.Value, opts InvokeOp
 
 	guest.lastUsed = opts.At
 	p.release(guest)
+	if opts.Parent == nil {
+		observeInvocation(p.env.Metrics, p.name, inv)
+	}
 	return inv, nil
 }
 

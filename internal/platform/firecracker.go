@@ -155,6 +155,7 @@ func (p *firecrackerPlatform) Invoke(name string, params lang.Value, opts Invoke
 
 	guest, mode, err := p.acquire(fn, opts.Mode, inv)
 	if err != nil {
+		observeInvokeError(p.env.Metrics, p.PlatformName())
 		return nil, err
 	}
 	inv.Mode = mode
@@ -170,6 +171,7 @@ func (p *firecrackerPlatform) Invoke(name string, params lang.Value, opts Invoke
 	inv.Breakdown.Add(trace.PhaseExec, "exec", span-(inv.Breakdown.Total()-attributedBefore))
 	if err != nil {
 		p.release(guest)
+		observeInvokeError(p.env.Metrics, p.PlatformName())
 		return inv, fmt.Errorf("%s: %s: %w", p.PlatformName(), name, err)
 	}
 	inv.Result = result
@@ -187,6 +189,9 @@ func (p *firecrackerPlatform) Invoke(name string, params lang.Value, opts Invoke
 		inv.Response = &Response{Status: 200, Body: body}
 	}
 	p.release(guest)
+	if opts.Parent == nil {
+		observeInvocation(p.env.Metrics, p.PlatformName(), inv)
+	}
 	return inv, nil
 }
 

@@ -109,6 +109,7 @@ func (p *isolatePlatform) Invoke(name string, params lang.Value, opts InvokeOpti
 
 	guest, mode, err := p.acquire(fn, opts.Mode, inv)
 	if err != nil {
+		observeInvokeError(p.env.Metrics, "isolate")
 		return nil, err
 	}
 	inv.Mode = mode
@@ -123,6 +124,7 @@ func (p *isolatePlatform) Invoke(name string, params lang.Value, opts InvokeOpti
 	inv.Breakdown.Add(trace.PhaseExec, "exec", span-(inv.Breakdown.Total()-attributedBefore))
 	if err != nil {
 		p.release(guest)
+		observeInvokeError(p.env.Metrics, "isolate")
 		return inv, fmt.Errorf("isolate: %s: %w", name, err)
 	}
 	inv.Result = result
@@ -140,6 +142,9 @@ func (p *isolatePlatform) Invoke(name string, params lang.Value, opts InvokeOpti
 		inv.Response = &Response{Status: 200, Body: body}
 	}
 	p.release(guest)
+	if opts.Parent == nil {
+		observeInvocation(p.env.Metrics, "isolate", inv)
+	}
 	return inv, nil
 }
 

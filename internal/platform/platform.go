@@ -15,6 +15,7 @@ import (
 	"repro/internal/couchdb"
 	"repro/internal/lang"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/msgbus"
 	"repro/internal/netsim"
 	"repro/internal/runtime"
@@ -179,6 +180,10 @@ type Env struct {
 	// remote object storage (§6): images evicted locally are re-fetched
 	// over the network instead of reinstalled.
 	RemoteSnaps *snapshot.Remote
+	// Metrics aggregates counters, gauges, and histograms from every
+	// component of this host (and, in a cluster, can be shared across
+	// hosts for a fleet-wide view). Always non-nil from NewEnv.
+	Metrics *metrics.Registry
 }
 
 // EnvConfig sizes an Env.
@@ -195,6 +200,11 @@ type EnvConfig struct {
 	RemoteSnapshotStorage bool
 	// ExternalIPPool sizes the NAT pool (default 4096).
 	ExternalIPPool int
+	// Metrics, when non-nil, is the registry this host reports into —
+	// a cluster passes one shared registry to every node so restores,
+	// CoW faults, and queue dwell aggregate fleet-wide. Nil creates a
+	// private registry for the host.
+	Metrics *metrics.Registry
 }
 
 // NewEnv creates a host environment.
@@ -208,20 +218,66 @@ func NewEnv(cfg EnvConfig) *Env {
 	if cfg.ExternalIPPool == 0 {
 		cfg.ExternalIPPool = 4096
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	host := mem.NewHost(cfg.MemBytes, cfg.Swappiness)
 	router := netsim.NewRouter(cfg.ExternalIPPool)
 	env := &Env{
-		Mem:    host,
-		Router: router,
-		HV:     vmm.New(host, router),
-		Bus:    msgbus.NewBroker(),
-		Couch:  couchdb.NewServer(),
-		Snaps:  snapshot.NewStore(cfg.SnapshotDiskBudget),
+		Mem:     host,
+		Router:  router,
+		HV:      vmm.New(host, router),
+		Bus:     msgbus.NewBroker(),
+		Couch:   couchdb.NewServer(),
+		Snaps:   snapshot.NewStore(cfg.SnapshotDiskBudget),
+		Metrics: reg,
 	}
+	host.Instrument(reg)
+	env.HV.Instrument(reg)
+	env.Bus.Instrument(reg)
+	env.Snaps.Instrument(reg)
 	if cfg.RemoteSnapshotStorage {
 		env.RemoteSnaps = snapshot.NewRemote()
 	}
 	return env
+}
+
+// observeInvocation records a completed top-level invocation into the
+// host registry: an invocation counter and the paper's three phase
+// histograms plus total latency, all labeled by platform. Chained
+// child invocations (opts.Parent != nil) share the parent's breakdown
+// and must not be recorded again; callers skip them.
+func observeInvocation(reg *metrics.Registry, platformName string, inv *Invocation) {
+	if inv == nil {
+		return
+	}
+	reg.Counter(metrics.Name("invoke_total", "platform", platformName)).Inc()
+	reg.Counter(metrics.Name("invoke_mode_total", "mode", inv.Mode.String(), "platform", platformName)).Inc()
+	reg.Histogram(metrics.Name("invoke_phase_duration", "phase", string(trace.PhaseStartup), "platform", platformName)).
+		ObserveDuration(inv.Breakdown.Startup())
+	reg.Histogram(metrics.Name("invoke_phase_duration", "phase", string(trace.PhaseExec), "platform", platformName)).
+		ObserveDuration(inv.Breakdown.Exec())
+	reg.Histogram(metrics.Name("invoke_phase_duration", "phase", string(trace.PhaseOthers), "platform", platformName)).
+		ObserveDuration(inv.Breakdown.Others())
+	reg.Histogram(metrics.Name("invoke_latency", "platform", platformName)).
+		ObserveDuration(inv.Breakdown.Total())
+}
+
+// ObserveInvocation is observeInvocation for platform implementations
+// living outside this package (internal/core).
+func ObserveInvocation(reg *metrics.Registry, platformName string, inv *Invocation) {
+	observeInvocation(reg, platformName, inv)
+}
+
+// observeInvokeError counts a failed invocation for a platform.
+func observeInvokeError(reg *metrics.Registry, platformName string) {
+	reg.Counter(metrics.Name("invoke_errors_total", "platform", platformName)).Inc()
+}
+
+// ObserveInvokeError is observeInvokeError for external platforms.
+func ObserveInvokeError(reg *metrics.Registry, platformName string) {
+	observeInvokeError(reg, platformName)
 }
 
 // vclockNew is an alias that keeps install paths readable.

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/vmm"
 )
 
@@ -30,6 +31,25 @@ type Store struct {
 	seq       uint64
 	entries   map[string]*entry
 	evictions int
+
+	// Observability (nil-safe; see Instrument).
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictCnt  *metrics.Counter
+	usedGauge *metrics.Gauge
+}
+
+// Instrument attaches the store to a metrics registry: Get hits and
+// misses (a miss means the image was evicted or never installed and
+// the invocation pays a remote fetch or reinstall), LRU evictions, and
+// resident disk bytes.
+func (s *Store) Instrument(reg *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits = reg.Counter("snapshot_store_hits_total")
+	s.misses = reg.Counter("snapshot_store_misses_total")
+	s.evictCnt = reg.Counter("snapshot_store_evictions_total")
+	s.usedGauge = reg.Gauge("snapshot_store_used_bytes")
 }
 
 type entry struct {
@@ -64,6 +84,7 @@ func (s *Store) Put(name string, snap *vmm.Snapshot) error {
 	s.seq++
 	s.entries[name] = &entry{snap: snap, size: size, lastUsed: s.seq}
 	s.used += size
+	s.usedGauge.Set(int64(s.used))
 	return nil
 }
 
@@ -90,6 +111,8 @@ func (s *Store) evictFor(size uint64) error {
 		s.used -= s.entries[victim].size
 		delete(s.entries, victim)
 		s.evictions++
+		s.evictCnt.Inc()
+		s.usedGauge.Set(int64(s.used))
 	}
 	return nil
 }
@@ -100,8 +123,10 @@ func (s *Store) Get(name string) (*vmm.Snapshot, error) {
 	defer s.mu.Unlock()
 	e, ok := s.entries[name]
 	if !ok {
+		s.misses.Inc()
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
+	s.hits.Inc()
 	s.seq++
 	e.lastUsed = s.seq
 	return e.snap, nil
@@ -136,6 +161,7 @@ func (s *Store) Remove(name string) {
 	if e, ok := s.entries[name]; ok {
 		s.used -= e.size
 		delete(s.entries, name)
+		s.usedGauge.Set(int64(s.used))
 	}
 }
 

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Span is one nested, labeled interval of an invocation on its virtual
+// clock. Spans extend the flat phase accounting of Breakdown with
+// structure: a restore span can contain the network-namespace and
+// guest-revive spans it is made of, exactly the way the paper's
+// Figure 6 decomposes start-up.
+//
+// Spans are observational only: beginning or ending a span never
+// charges time to a phase (that stays the job of Add), so a breakdown
+// with spans reports the same totals as one without.
+type Span struct {
+	Name  string
+	Phase Phase
+	// Start and End are virtual-clock offsets. End is -1 while the
+	// span is open.
+	Start time.Duration
+	End   time.Duration
+
+	children []*Span
+}
+
+// Duration returns the span's length, or the zero duration while it is
+// still open.
+func (s *Span) Duration() time.Duration {
+	if s.End < 0 {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Children returns the nested spans in creation order. The returned
+// slice is owned by the span and must not be modified.
+func (s *Span) Children() []*Span { return s.children }
+
+// BeginSpan opens a span at virtual time `at`, nested under the
+// innermost open span (or at the root when none is open). Like the
+// rest of Breakdown it is not safe for concurrent use.
+func (b *Breakdown) BeginSpan(name string, p Phase, at time.Duration) *Span {
+	s := &Span{Name: name, Phase: p, Start: at, End: -1}
+	if n := len(b.open); n > 0 {
+		parent := b.open[n-1]
+		parent.children = append(parent.children, s)
+	} else {
+		b.spans = append(b.spans, s)
+	}
+	b.open = append(b.open, s)
+	return s
+}
+
+// EndSpan closes the innermost open span at virtual time `at` and
+// returns it. Ending with no open span, or ending before the span
+// started, panics: both indicate a broken instrumentation site.
+func (b *Breakdown) EndSpan(at time.Duration) *Span {
+	n := len(b.open)
+	if n == 0 {
+		panic("trace: EndSpan with no open span")
+	}
+	s := b.open[n-1]
+	if at < s.Start {
+		panic(fmt.Sprintf("trace: span %q ends at %v before start %v", s.Name, at, s.Start))
+	}
+	s.End = at
+	b.open = b.open[:n-1]
+	return s
+}
+
+// Spans returns the root spans in creation order. The returned slice
+// is owned by the Breakdown and must not be modified.
+func (b *Breakdown) Spans() []*Span { return b.spans }
+
+// RenderSpans renders the span tree with two-space indentation, one
+// span per line:
+//
+//	restore [start-up] 0s..12ms (12ms)
+//	  netns [start-up] 1ms..2ms (1ms)
+//
+// Open spans render with end "?".
+func (b *Breakdown) RenderSpans() string {
+	var sb strings.Builder
+	for _, s := range b.spans {
+		renderSpan(&sb, s, 0)
+	}
+	return sb.String()
+}
+
+func renderSpan(sb *strings.Builder, s *Span, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	end := "?"
+	dur := ""
+	if s.End >= 0 {
+		end = s.End.String()
+		dur = fmt.Sprintf(" (%v)", s.Duration())
+	}
+	fmt.Fprintf(sb, "%s [%s] %v..%s%s\n", s.Name, s.Phase, s.Start, end, dur)
+	for _, c := range s.children {
+		renderSpan(sb, c, depth+1)
+	}
+}
+
+// cloneSpan deep-copies a span tree.
+func cloneSpan(s *Span) *Span {
+	c := &Span{Name: s.Name, Phase: s.Phase, Start: s.Start, End: s.End}
+	for _, child := range s.children {
+		c.children = append(c.children, cloneSpan(child))
+	}
+	return c
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	var b Breakdown
+	root := b.BeginSpan("invoke", PhaseOthers, 0)
+	restore := b.BeginSpan("restore", PhaseStartup, 1*time.Millisecond)
+	netns := b.BeginSpan("netns", PhaseStartup, 2*time.Millisecond)
+	b.EndSpan(3 * time.Millisecond) // netns
+	b.EndSpan(12 * time.Millisecond)
+	exec := b.BeginSpan("exec", PhaseExec, 12*time.Millisecond)
+	b.EndSpan(20 * time.Millisecond)
+	b.EndSpan(21 * time.Millisecond)
+
+	roots := b.Spans()
+	if len(roots) != 1 || roots[0] != root {
+		t.Fatalf("roots = %v", roots)
+	}
+	if got := root.Children(); len(got) != 2 || got[0] != restore || got[1] != exec {
+		t.Fatalf("root children = %v", got)
+	}
+	if got := restore.Children(); len(got) != 1 || got[0] != netns {
+		t.Fatalf("restore children = %v", got)
+	}
+	if restore.Duration() != 11*time.Millisecond {
+		t.Fatalf("restore duration = %v", restore.Duration())
+	}
+	if root.Duration() != 21*time.Millisecond {
+		t.Fatalf("root duration = %v", root.Duration())
+	}
+}
+
+func TestSpansDoNotChargePhases(t *testing.T) {
+	var b Breakdown
+	b.BeginSpan("restore", PhaseStartup, 0)
+	b.EndSpan(10 * time.Millisecond)
+	if b.Total() != 0 || b.Startup() != 0 {
+		t.Fatalf("spans charged time: total=%v", b.Total())
+	}
+	b.Add(PhaseStartup, "restore", 10*time.Millisecond)
+	if b.Startup() != 10*time.Millisecond {
+		t.Fatalf("startup = %v", b.Startup())
+	}
+}
+
+func TestOpenSpanDurationAndRender(t *testing.T) {
+	var b Breakdown
+	s := b.BeginSpan("open", PhaseExec, 5*time.Millisecond)
+	if s.Duration() != 0 {
+		t.Fatalf("open span duration = %v", s.Duration())
+	}
+	out := b.RenderSpans()
+	if !strings.Contains(out, "open [exec] 5ms..?") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestRenderSpansIndentation(t *testing.T) {
+	var b Breakdown
+	b.BeginSpan("outer", PhaseStartup, 0)
+	b.BeginSpan("inner", PhaseStartup, time.Millisecond)
+	b.EndSpan(2 * time.Millisecond)
+	b.EndSpan(4 * time.Millisecond)
+	want := "outer [start-up] 0s..4ms (4ms)\n  inner [start-up] 1ms..2ms (1ms)\n"
+	if got := b.RenderSpans(); got != want {
+		t.Fatalf("render = %q, want %q", got, want)
+	}
+}
+
+func TestEndSpanPanics(t *testing.T) {
+	t.Run("no-open", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		var b Breakdown
+		b.EndSpan(0)
+	})
+	t.Run("ends-before-start", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		var b Breakdown
+		b.BeginSpan("s", PhaseExec, 10*time.Millisecond)
+		b.EndSpan(5 * time.Millisecond)
+	})
+}
+
+func TestCloneAndMergeCopySpans(t *testing.T) {
+	var b Breakdown
+	b.BeginSpan("a", PhaseExec, 0)
+	b.EndSpan(time.Millisecond)
+
+	c := b.Clone()
+	if len(c.Spans()) != 1 || c.Spans()[0] == b.Spans()[0] {
+		t.Fatal("clone did not deep-copy spans")
+	}
+	if c.Spans()[0].Name != "a" || c.Spans()[0].Duration() != time.Millisecond {
+		t.Fatalf("cloned span = %+v", c.Spans()[0])
+	}
+
+	var m Breakdown
+	m.Merge(&b)
+	if len(m.Spans()) != 1 || m.Spans()[0] == b.Spans()[0] {
+		t.Fatal("merge did not deep-copy spans")
+	}
+}

@@ -28,6 +28,10 @@ const (
 type Breakdown struct {
 	durations map[Phase]time.Duration
 	events    []Event
+	// spans are the root spans of the invocation's span tree; open is
+	// the stack of spans begun but not yet ended (see span.go).
+	spans []*Span
+	open  []*Span
 }
 
 // Event is a single timestamped accounting entry, useful for debugging a
@@ -76,6 +80,7 @@ func (b *Breakdown) Events() []Event { return b.events }
 
 // Merge adds every phase of other into b. It is used when an invocation
 // spans a chain of functions and the chain reports one combined breakdown.
+// The other breakdown's root spans are appended to b's span tree.
 func (b *Breakdown) Merge(other *Breakdown) {
 	if other == nil {
 		return
@@ -83,15 +88,23 @@ func (b *Breakdown) Merge(other *Breakdown) {
 	for p, d := range other.durations {
 		b.Add(p, "merged", d)
 	}
+	for _, s := range other.spans {
+		b.spans = append(b.spans, cloneSpan(s))
+	}
 }
 
-// Clone returns an independent copy of the breakdown.
+// Clone returns an independent copy of the breakdown. Spans still open
+// at clone time remain open only in the original; the clone holds an
+// independent deep copy of the span tree.
 func (b *Breakdown) Clone() *Breakdown {
 	c := &Breakdown{durations: make(map[Phase]time.Duration, len(b.durations))}
 	for p, d := range b.durations {
 		c.durations[p] = d
 	}
 	c.events = append(c.events, b.events...)
+	for _, s := range b.spans {
+		c.spans = append(c.spans, cloneSpan(s))
+	}
 	return c
 }
 

@@ -124,7 +124,10 @@ func (h *Hypervisor) TakeSnapshot(v *MicroVM, kind SnapshotKind, specs []RegionS
 	if total > v.Config.MemBytes {
 		return nil, fmt.Errorf("vmm: snapshot regions (%d bytes) exceed guest memory (%d bytes)", total, v.Config.MemBytes)
 	}
-	clock.Advance(CostSnapshotBase + time.Duration(total)*CostSnapshotPerByte)
+	captureCost := CostSnapshotBase + time.Duration(total)*CostSnapshotPerByte
+	clock.Advance(captureCost)
+	h.snapshots.Inc()
+	h.snapshotDur.ObserveDuration(captureCost)
 
 	snap := &Snapshot{
 		ID:                      "snap-" + v.ID,
@@ -167,7 +170,10 @@ func (h *Hypervisor) Restore(snap *Snapshot, opts RestoreOptions, clock *vclock.
 		perPage = CostRestorePerPageREAP
 	}
 	pages := mem.PagesFor(snap.ResidentWorkingSetBytes)
-	clock.Advance(CostRestoreBase + time.Duration(pages)*perPage)
+	restoreCost := CostRestoreBase + time.Duration(pages)*perPage
+	clock.Advance(restoreCost)
+	h.restores.Inc()
+	h.restoreDur.ObserveDuration(restoreCost)
 
 	v := &MicroVM{
 		ID:           id,
@@ -193,6 +199,7 @@ func (h *Hypervisor) Restore(snap *Snapshot, opts RestoreOptions, clock *vclock.
 	h.mu.Lock()
 	h.vms[id] = v
 	h.mu.Unlock()
+	h.liveVMs.Add(1)
 	return v, nil
 }
 

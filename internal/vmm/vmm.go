@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/fs"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/vclock"
 )
@@ -67,11 +68,36 @@ type Hypervisor struct {
 	mu     sync.Mutex
 	vms    map[string]*MicroVM
 	nextID int
+
+	// Observability (nil-safe; see Instrument).
+	liveVMs     *metrics.Gauge
+	boots       *metrics.Counter
+	bootDur     *metrics.Histogram
+	restores    *metrics.Counter
+	restoreDur  *metrics.Histogram
+	snapshots   *metrics.Counter
+	snapshotDur *metrics.Histogram
 }
 
 // New returns a hypervisor on the given host and network router.
 func New(host *mem.Host, router *netsim.Router) *Hypervisor {
 	return &Hypervisor{Host: host, Router: router, vms: make(map[string]*MicroVM)}
+}
+
+// Instrument attaches the hypervisor to a metrics registry: live VM
+// count, kernel boots (the cold path), snapshot restores with their
+// latency histogram (the paper's headline quantity — Figure 6's ~12 ms
+// Fireworks start-up), and snapshot captures.
+func (h *Hypervisor) Instrument(reg *metrics.Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.liveVMs = reg.Gauge("vmm_live_vms")
+	h.boots = reg.Counter("vmm_kernel_boots_total")
+	h.bootDur = reg.Histogram("vmm_kernel_boot_duration")
+	h.restores = reg.Counter("vmm_snapshot_restores_total")
+	h.restoreDur = reg.Histogram("vmm_snapshot_restore_duration")
+	h.snapshots = reg.Counter("vmm_snapshots_taken_total")
+	h.snapshotDur = reg.Histogram("vmm_snapshot_capture_duration")
 }
 
 // MicroVM is one simulated Firecracker microVM.
@@ -140,6 +166,7 @@ func (h *Hypervisor) CreateVM(cfg Config, clock *vclock.Clock) (*MicroVM, error)
 	h.mu.Lock()
 	h.vms[id] = v
 	h.mu.Unlock()
+	h.liveVMs.Add(1)
 	return v, nil
 }
 
@@ -150,6 +177,8 @@ func (v *MicroVM) BootKernel(clock *vclock.Clock) error {
 		return fmt.Errorf("%w: boot in %s", ErrBadState, v.state)
 	}
 	clock.Advance(CostKernelBoot)
+	v.hv.boots.Inc()
+	v.hv.bootDur.ObserveDuration(CostKernelBoot)
 	v.space.AllocPrivate(mem.KindKernel, mem.PagesFor(CostKernelBytes))
 	v.booted = true
 	v.state = StateRunning
@@ -201,6 +230,7 @@ func (v *MicroVM) Stop() error {
 	v.hv.mu.Lock()
 	delete(v.hv.vms, v.ID)
 	v.hv.mu.Unlock()
+	v.hv.liveVMs.Add(-1)
 	return nil
 }
 
