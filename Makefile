@@ -14,8 +14,8 @@ build:
 test:
 	$(GO) test ./...
 
-# The cluster scheduler and the metrics registry are the two
-# concurrency-bearing subsystems; they additionally run under the race
-# detector.
+# The concurrency-bearing subsystems — the cluster scheduler, the
+# metrics registry, the shared lifecycle pool, and the Fireworks invoke
+# pipeline — additionally run under the race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/metrics/...
+	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/...

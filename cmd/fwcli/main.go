@@ -15,11 +15,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
 	"repro/internal/workloads"
@@ -95,21 +93,9 @@ func main() {
 		}
 	}
 	if *metricsFmt != "" {
-		if err := dumpMetrics(os.Stdout, env.Metrics, *metricsFmt); err != nil {
+		if err := env.Metrics.WriteFormat(os.Stdout, *metricsFmt); err != nil {
 			fatal(err)
 		}
-	}
-}
-
-// dumpMetrics writes the registry snapshot in the requested format.
-func dumpMetrics(w io.Writer, reg *metrics.Registry, format string) error {
-	switch format {
-	case "text":
-		return reg.WriteText(w)
-	case "json":
-		return reg.WriteJSON(w)
-	default:
-		return fmt.Errorf("unknown -metrics format %q (want text or json)", format)
 	}
 }
 

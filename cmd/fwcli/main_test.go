@@ -88,7 +88,7 @@ func TestDumpMetrics(t *testing.T) {
 	}
 
 	var buf strings.Builder
-	if err := dumpMetrics(&buf, env.Metrics, "text"); err != nil {
+	if err := env.Metrics.WriteFormat(&buf, "text"); err != nil {
 		t.Fatal(err)
 	}
 	text := buf.String()
@@ -103,13 +103,13 @@ func TestDumpMetrics(t *testing.T) {
 	}
 
 	var jsonBuf strings.Builder
-	if err := dumpMetrics(&jsonBuf, env.Metrics, "json"); err != nil {
+	if err := env.Metrics.WriteFormat(&jsonBuf, "json"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(jsonBuf.String(), `"counters"`) {
 		t.Error("json dump missing counters")
 	}
-	if err := dumpMetrics(&buf, env.Metrics, "csv"); err == nil {
+	if err := env.Metrics.WriteFormat(&buf, "csv"); err == nil {
 		t.Fatal("unknown format accepted")
 	}
 }

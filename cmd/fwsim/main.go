@@ -122,14 +122,10 @@ func runMetricsDemo(w io.Writer, format string, nodes, invocations int) error {
 			return err
 		}
 	}
-	switch format {
-	case "text":
-		return c.Metrics().WriteText(w)
-	case "json":
-		return c.Metrics().WriteJSON(w)
-	default:
-		return fmt.Errorf("fwsim: unknown -metrics format %q (want text or json)", format)
+	if err := c.Metrics().WriteFormat(w, format); err != nil {
+		return fmt.Errorf("fwsim: %w", err)
 	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -251,13 +247,16 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Any format other than json renders text, so the endpoint never
+	// 500s on a stray query parameter.
+	format := "text"
+	contentType := "text/plain; charset=utf-8"
 	if r.URL.Query().Get("format") == "json" {
-		w.Header().Set("Content-Type", "application/json")
-		_ = s.env.Metrics.WriteJSON(w)
-		return
+		format = "json"
+		contentType = "application/json"
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = s.env.Metrics.WriteText(w)
+	w.Header().Set("Content-Type", contentType)
+	_ = s.env.Metrics.WriteFormat(w, format)
 }
 
 func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {

@@ -20,10 +20,13 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/annotate"
 	"repro/internal/lang"
+	"repro/internal/lifecycle"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/runtime"
 	"repro/internal/sandbox"
@@ -45,7 +48,23 @@ type Options struct {
 	// RetainInstances keeps restored microVMs alive after their
 	// invocation completes — required by the consolidation experiments
 	// (§5.4), which pack hundreds of live microVMs onto the host.
+	// When both RetainInstances and WarmPool are set, RetainInstances
+	// wins: instances are kept, not pooled.
 	RetainInstances bool
+	// WarmPool keeps the microVM of a finished invocation paused in
+	// the shared lifecycle pool and warm-resumes it for the next
+	// invocation of the same function instead of restoring the
+	// snapshot again. Off by default: the paper's §3.4 model is that
+	// every start is a snapshot resume — the pool is an opt-in
+	// optimization layered on top.
+	WarmPool bool
+	// PoolKeepAlive bounds how long a pooled VM stays warm on the
+	// workload timeline (InvokeOptions.At); zero keeps it forever.
+	// Only meaningful with WarmPool.
+	PoolKeepAlive time.Duration
+	// PoolCapacity bounds pooled VMs per function (zero = unbounded).
+	// Only meaningful with WarmPool.
+	PoolCapacity int
 }
 
 // Framework is the Fireworks serverless platform.
@@ -53,6 +72,11 @@ type Framework struct {
 	env     *platform.Env
 	opts    Options
 	profile sandbox.Profile
+	// pool holds idle paused microVMs when Options.WarmPool is on.
+	pool *lifecycle.Pool[*Instance]
+	// warmResumes counts invocations served by a pooled VM resume
+	// instead of a snapshot restore.
+	warmResumes *metrics.Counter
 
 	mu        sync.Mutex
 	fns       map[string]*installed
@@ -74,6 +98,13 @@ type Instance struct {
 	Topic string
 	VM    *vmm.MicroVM
 	rt    *runtime.Runtime
+	// binding is the guest's host bridge; pooled reuse rebinds it to
+	// the next invocation instead of reinstalling from scratch.
+	binding *platform.NativeBinding
+	// heapDirtied records that the CoW heap/JIT dirtying of the shared
+	// snapshot image was already accounted for this VM; warm reruns
+	// redirty the same private pages.
+	heapDirtied bool
 }
 
 // SustainDirty models a long-running instance dirtying additional guest
@@ -84,13 +115,21 @@ func (i *Instance) SustainDirty(bytes uint64) { i.VM.DirtyDuringExecution(bytes)
 
 // New creates a Fireworks framework on the shared host environment.
 func New(env *platform.Env, opts Options) *Framework {
-	return &Framework{
+	f := &Framework{
 		env:       env,
 		opts:      opts,
 		profile:   sandbox.Profiles(sandbox.ClassFirecracker),
 		fns:       make(map[string]*installed),
 		instances: make(map[string][]*Instance),
 	}
+	f.pool = lifecycle.NewPool(lifecycle.PoolConfig[*Instance]{
+		TTL:      opts.PoolKeepAlive,
+		Capacity: opts.PoolCapacity,
+		OnEvict:  f.discardInstance,
+	})
+	f.pool.Instrument(env.Metrics, "fireworks")
+	f.warmResumes = env.Metrics.Counter("fireworks_warm_resume_total")
+	return f
 }
 
 // PlatformName implements platform.Platform.
@@ -222,8 +261,34 @@ func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.R
 	return nil
 }
 
+// invokeState threads one invocation's accumulating state through the
+// pipeline stages.
+type invokeState struct {
+	inst *installed
+	// snap is the local (or re-fetched) snapshot image; snapErr defers
+	// a lookup failure when a pooled warm VM might serve the request
+	// without the image.
+	snap    *vmm.Snapshot
+	snapErr error
+	// pinned marks that this invocation holds a Store pin on the
+	// image. The flag (not a bare Unpin) guards against double-release:
+	// pins are counted globally, so an extra Unpin would release
+	// another invocation's pin.
+	pinned      bool
+	fcID        string
+	topic       string
+	instance    *Instance
+	warm        bool
+	startupMark time.Duration
+}
+
 // Invoke implements platform.Platform (Figure 2 steps 5-8). StartMode
-// is ignored: Fireworks always resumes the post-JIT snapshot.
+// is ignored: Fireworks always resumes the post-JIT snapshot (or, with
+// Options.WarmPool, warm-resumes a pooled paused clone).
+//
+// The flow is a lifecycle.Pipeline: each stage registers teardown for
+// the resources it created, so any failure unwinds exactly the
+// acquired set — no leaked topic, pin, or running microVM.
 func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeOptions) (*platform.Invocation, error) {
 	f.mu.Lock()
 	inst, ok := f.fns[name]
@@ -236,6 +301,51 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 		inv = platform.NewInvocation(name)
 	}
 
+	st := &invokeState{inst: inst}
+	pl := lifecycle.NewPipeline().
+		Stage("snapshot-get", func(cl *lifecycle.Cleanup) error {
+			return f.stageSnapshot(st, name, inv, cl)
+		}).
+		Stage("topic-produce", func(cl *lifecycle.Cleanup) error {
+			return f.stageTopic(st, name, params, inv, cl)
+		}).
+		Stage("restore-or-reuse", func(cl *lifecycle.Cleanup) error {
+			return f.stageRestore(st, name, inv, opts, cl)
+		}).
+		Stage("netns", func(cl *lifecycle.Cleanup) error {
+			return f.stageNetns(st, inv, cl)
+		}).
+		Stage("runtime-revive", func(cl *lifecycle.Cleanup) error {
+			return f.stageRevive(st, inv, cl)
+		}).
+		Stage("execute", func(cl *lifecycle.Cleanup) error {
+			return f.stageExecute(st, name, inv, cl)
+		}).
+		Stage("release", func(cl *lifecycle.Cleanup) error {
+			return f.stageRelease(st, name, inv, opts, cl)
+		})
+	if err := pl.Run(); err != nil {
+		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
+		f.env.Metrics.Counter(metrics.Name("fireworks_stage_failures_total", "stage", pl.Failed())).Inc()
+		// An execute (or release) failure still yields the invocation
+		// with its breakdown for diagnosis; start-up failures do not.
+		if failed := pl.Failed(); failed == "execute" || failed == "release" {
+			return inv, err
+		}
+		return nil, err
+	}
+	// Chained child invocations accumulate into the parent's breakdown;
+	// only the top-level request is a platform invocation.
+	if opts.Parent == nil {
+		platform.ObserveInvocation(f.env.Metrics, "fireworks", inv)
+	}
+	return inv, nil
+}
+
+// stageSnapshot resolves the function's snapshot image, falling back to
+// remote storage after a local eviction, and pins it against eviction
+// for the rest of the pipeline.
+func (f *Framework) stageSnapshot(st *invokeState, name string, inv *platform.Invocation, cl *lifecycle.Cleanup) error {
 	snap, err := f.env.Snaps.Get(name)
 	if err != nil && f.env.RemoteSnaps != nil {
 		// Local eviction: pull the image from remote storage (charged
@@ -246,77 +356,156 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 			f.env.Metrics.Counter("fireworks_remote_fetch_total").Inc()
 			inv.Breakdown.Add(trace.PhaseStartup, "snapshot-remote-fetch", inv.Clock.Since(fetchMark))
 			if perr := f.env.Snaps.Put(name, snap); perr != nil {
-				return nil, perr
+				return perr
 			}
 		}
 	}
 	if err != nil {
-		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
-		return nil, fmt.Errorf("fireworks: %q: %w (reinstall to regenerate)", name, err)
+		err = fmt.Errorf("fireworks: %q: %w (reinstall to regenerate)", name, err)
+		if f.opts.WarmPool && !f.opts.RetainInstances && f.pool.Count(name) > 0 {
+			// A pooled warm VM may serve the request without the
+			// image; defer the failure to the restore stage.
+			st.snapErr = err
+			return nil
+		}
+		return err
 	}
+	st.snap = snap
+	if perr := f.env.Snaps.Pin(name); perr == nil {
+		st.pinned = true
+		cl.Defer(func() {
+			if st.pinned {
+				st.pinned = false
+				f.env.Snaps.Unpin(name)
+			}
+		})
+	}
+	return nil
+}
 
-	// ⑤ Put the arguments on the per-instance queue before resuming.
+// stageTopic creates the per-instance topic and produces the arguments
+// to it before the clone resumes (step ⑤).
+func (f *Framework) stageTopic(st *invokeState, name string, params lang.Value, inv *platform.Invocation, cl *lifecycle.Cleanup) error {
 	f.mu.Lock()
 	f.nextFcID++
-	fcID := fmt.Sprintf("fc%06d", f.nextFcID)
+	st.fcID = fmt.Sprintf("fc%06d", f.nextFcID)
 	f.mu.Unlock()
-	topic := fmt.Sprintf("fw-%s-%s", name, fcID)
-	if err := f.env.Bus.CreateTopic(topic, 1); err != nil {
-		return nil, err
+	st.topic = fmt.Sprintf("fw-%s-%s", name, st.fcID)
+	if err := f.env.Bus.CreateTopic(st.topic, 1); err != nil {
+		return err
 	}
+	topic := st.topic
+	cl.Defer(func() { f.env.Bus.DeleteTopic(topic) })
 	paramJSON, err := runtime.EncodeJSON(params)
 	if err != nil {
-		f.env.Bus.DeleteTopic(topic)
-		return nil, fmt.Errorf("fireworks: params: %w", err)
+		return fmt.Errorf("fireworks: params: %w", err)
 	}
 	// Stamp the record with this invocation's clock position so the
 	// stamped consume after restore measures queue dwell (§3.6).
-	if _, _, err := f.env.Bus.ProduceAt(topic, fcID, paramJSON, inv.Clock.Now()); err != nil {
-		f.env.Bus.DeleteTopic(topic)
-		return nil, err
+	if _, _, err := f.env.Bus.ProduceAt(st.topic, st.fcID, paramJSON, inv.Clock.Now()); err != nil {
+		return err
 	}
 	inv.ChargeOther("param-queue", f.profile.NetOpBase+platform.PerKB(f.profile, len(paramJSON)))
+	return nil
+}
 
-	// ⑥ ⑦ Network namespace, then restore the snapshot. Any failure
-	// past this point must release the queue and the microVM. The
-	// startup span nests the three restore stages for tracing; spans
-	// are observational and never charge phases.
-	startupMark := inv.Clock.Now()
-	inv.Breakdown.BeginSpan("startup", trace.PhaseStartup, startupMark)
-	inv.Breakdown.BeginSpan("vm-restore", trace.PhaseStartup, startupMark)
-	vm, err := f.env.HV.Restore(snap, vmm.RestoreOptions{REAPPrefetch: f.opts.REAPPrefetch}, inv.Clock)
+// stageRestore provides the microVM: a warm resume of a pooled clone
+// when Options.WarmPool has one, otherwise a fresh snapshot restore
+// (step ⑦). On the fresh path the "startup" span stays open across the
+// netns and revive stages and is closed by whichever stage finishes
+// (or fails) it.
+func (f *Framework) stageRestore(st *invokeState, name string, inv *platform.Invocation, opts platform.InvokeOptions, cl *lifecycle.Cleanup) error {
+	st.startupMark = inv.Clock.Now()
+	if f.opts.WarmPool && !f.opts.RetainInstances {
+		if pooled, ok := f.pool.Acquire(name, opts.At); ok {
+			cl.Defer(func() {
+				if pooled.VM.State() != vmm.StateStopped {
+					_ = pooled.VM.Stop()
+				}
+			})
+			inv.Breakdown.BeginSpan("startup", trace.PhaseStartup, st.startupMark)
+			inv.Breakdown.BeginSpan("warm-resume", trace.PhaseStartup, st.startupMark)
+			err := pooled.VM.ResumeWarm(inv.Clock)
+			inv.Breakdown.EndSpan(inv.Clock.Now())
+			if err != nil {
+				inv.Breakdown.EndSpan(inv.Clock.Now())
+				return err
+			}
+			pooled.FcID = st.fcID
+			pooled.Topic = st.topic
+			pooled.VM.SetMMDS("fcID", st.fcID)
+			pooled.VM.SetMMDS("topic", st.topic)
+			inv.Breakdown.Add(trace.PhaseStartup, "warm-resume", inv.Clock.Since(st.startupMark))
+			inv.Breakdown.EndSpan(inv.Clock.Now())
+			f.warmResumes.Inc()
+			st.instance = pooled
+			st.warm = true
+			return nil
+		}
+	}
+	if st.snapErr != nil {
+		// The image lookup failed and no pooled VM can cover for it.
+		return st.snapErr
+	}
+	inv.Breakdown.BeginSpan("startup", trace.PhaseStartup, st.startupMark)
+	inv.Breakdown.BeginSpan("vm-restore", trace.PhaseStartup, st.startupMark)
+	vm, err := f.env.HV.Restore(st.snap, vmm.RestoreOptions{REAPPrefetch: f.opts.REAPPrefetch}, inv.Clock)
 	inv.Breakdown.EndSpan(inv.Clock.Now())
 	if err != nil {
 		inv.Breakdown.EndSpan(inv.Clock.Now())
-		f.env.Bus.DeleteTopic(topic)
-		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
-		return nil, err
+		return err
 	}
+	cl.Defer(func() {
+		if vm.State() != vmm.StateStopped {
+			_ = vm.Stop()
+		}
+	})
+	st.instance = &Instance{FcID: st.fcID, Topic: st.topic, VM: vm}
+	return nil
+}
+
+// stageNetns joins the clone to its network namespace and publishes its
+// identity over MMDS (step ⑥). Pooled warm VMs keep their namespace —
+// part of the warm-resume win.
+func (f *Framework) stageNetns(st *invokeState, inv *platform.Invocation, cl *lifecycle.Cleanup) error {
+	if st.warm {
+		return nil
+	}
+	vm := st.instance.VM
 	inv.Breakdown.BeginSpan("netns-setup", trace.PhaseStartup, inv.Clock.Now())
-	err = f.env.HV.SetupNetwork(vm, snap.GuestIP, inv.Clock)
+	err := f.env.HV.SetupNetwork(vm, st.snap.GuestIP, inv.Clock)
 	inv.Breakdown.EndSpan(inv.Clock.Now())
 	if err != nil {
 		inv.Breakdown.EndSpan(inv.Clock.Now())
-		_ = vm.Stop()
-		f.env.Bus.DeleteTopic(topic)
-		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
-		return nil, err
+		return err
 	}
-	vm.SetMMDS("fcID", fcID)
-	vm.SetMMDS("topic", topic)
+	vm.SetMMDS("fcID", st.fcID)
+	vm.SetMMDS("topic", st.topic)
+	return nil
+}
 
-	template := snap.GuestState.(*runtime.SnapshotTemplate)
+// stageRevive rebuilds (fresh restore) or rebinds (pooled reuse) the
+// guest runtime and its host bridge.
+func (f *Framework) stageRevive(st *invokeState, inv *platform.Invocation, cl *lifecycle.Cleanup) error {
+	if st.warm {
+		// The runtime survived inside the paused VM; rebind its host
+		// bridge to this invocation. The fireworks natives capture the
+		// invocation and VM, so they must be reinstalled.
+		st.instance.rt.SetClock(inv.Clock)
+		st.instance.binding.Rebind(inv)
+		f.installFireworksNatives(st.instance.rt, f.invokeBridge(st, inv))
+		return nil
+	}
+	vm := st.instance.VM
+	template := st.snap.GuestState.(*runtime.SnapshotTemplate)
 	inv.Breakdown.BeginSpan("runtime-revive", trace.PhaseStartup, inv.Clock.Now())
 	rt, err := runtime.NewFromSnapshot(template, inv.Clock)
 	inv.Breakdown.EndSpan(inv.Clock.Now())
 	if err != nil {
 		inv.Breakdown.EndSpan(inv.Clock.Now())
-		_ = vm.Stop()
-		f.env.Bus.DeleteTopic(topic)
-		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
-		return nil, err
+		return err
 	}
-	restoreSpan := inv.Clock.Since(startupMark)
+	restoreSpan := inv.Clock.Since(st.startupMark)
 	inv.Breakdown.Add(trace.PhaseStartup, "snapshot-restore", restoreSpan)
 	inv.Breakdown.EndSpan(inv.Clock.Now())
 	f.env.Metrics.Histogram("fireworks_restore_duration").ObserveDuration(restoreSpan)
@@ -331,8 +520,19 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 		},
 	}
 	binding.Install(rt)
-	f.installFireworksNatives(rt, &fireworksBridge{
-		defaultParams: inst.fn.DefaultParams,
+	f.installFireworksNatives(rt, f.invokeBridge(st, inv))
+	st.instance.rt = rt
+	st.instance.binding = binding
+	return nil
+}
+
+// invokeBridge builds the per-invocation guest bridge: the fetchParams
+// closure captures this invocation and VM (why pooled reuse reinstalls
+// the natives instead of keeping the old ones).
+func (f *Framework) invokeBridge(st *invokeState, inv *platform.Invocation) *fireworksBridge {
+	vm := st.instance.VM
+	return &fireworksBridge{
+		defaultParams: st.inst.fn.DefaultParams,
 		fetchParams: func() (lang.Value, error) {
 			// The resumed clone identifies itself via MMDS, then reads
 			// exactly one message from its topic (kafkacat -o -1 -c 1).
@@ -348,10 +548,13 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 			inv.ChargeOther("param-fetch", f.profile.NetOpBase+platform.PerKB(f.profile, len(msg.Value)))
 			return runtime.DecodeJSON(msg.Value)
 		},
-	})
+	}
+}
 
-	// ⑧ Resume at the post-snapshot continuation.
-	instance := &Instance{FcID: fcID, Topic: topic, VM: vm, rt: rt}
+// stageExecute resumes the guest at the post-snapshot continuation
+// (step ⑧).
+func (f *Framework) stageExecute(st *invokeState, name string, inv *platform.Invocation, cl *lifecycle.Cleanup) error {
+	rt := st.instance.rt
 	attributedBefore := inv.Breakdown.Total()
 	mark := inv.Clock.Now()
 	inv.Breakdown.BeginSpan("exec", trace.PhaseExec, mark)
@@ -360,42 +563,87 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 	inv.Breakdown.EndSpan(inv.Clock.Now())
 	inv.Breakdown.Add(trace.PhaseExec, "exec", span-(inv.Breakdown.Total()-attributedBefore))
 	if err != nil {
-		_ = vm.Stop()
-		f.env.Bus.DeleteTopic(topic)
-		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
-		return inv, fmt.Errorf("fireworks: %s: %w", name, err)
+		return fmt.Errorf("fireworks: %s: %w", name, err)
 	}
 	inv.Result = result
 	inv.Response = responseOrDefault(inv, result, f.profile)
 	inv.Logs += rt.Stdout.String()
+	rt.Stdout.Reset()
 	inv.Mode = platform.ModeWarm // every Fireworks start behaves like (better than) warm
-	inv.SandboxID = vm.ID
+	inv.SandboxID = st.instance.VM.ID
+	return nil
+}
 
-	// Execution dirties the heap pages of the shared image (CoW).
-	vm.DirtyKind(mem.KindHeap, rt.Model.HeapPerInvokeBytes+inst.fn.DirtyBytesPerRun)
-	// Numba re-links its duplicated MCJIT modules on resume, CoW-
-	// splitting the JIT-code pages — the reason §5.5.2 sees no post-JIT
-	// memory win for Python.
-	if rt.Model.JITCodeDuplication > 1 {
-		vm.DirtyKind(mem.KindJITCode, rt.JITCodeBytes())
+// stageRelease accounts copy-on-write dirtying, drops the snapshot pin,
+// and disposes of the instance: retained, pooled for warm resume, or
+// stopped. The topic is deleted even when the stop fails — the fix for
+// the historical leak where a failed Stop left the topic behind.
+func (f *Framework) stageRelease(st *invokeState, name string, inv *platform.Invocation, opts platform.InvokeOptions, cl *lifecycle.Cleanup) error {
+	instance := st.instance
+	vm := instance.VM
+	rt := instance.rt
+	if !instance.heapDirtied {
+		// Execution dirties the heap pages of the shared image (CoW).
+		vm.DirtyKind(mem.KindHeap, rt.Model.HeapPerInvokeBytes+st.inst.fn.DirtyBytesPerRun)
+		// Numba re-links its duplicated MCJIT modules on resume, CoW-
+		// splitting the JIT-code pages — the reason §5.5.2 sees no
+		// post-JIT memory win for Python.
+		if rt.Model.JITCodeDuplication > 1 {
+			vm.DirtyKind(mem.KindJITCode, rt.JITCodeBytes())
+		}
+		instance.heapDirtied = true
 	}
-
-	if f.opts.RetainInstances {
+	if st.pinned {
+		st.pinned = false
+		f.env.Snaps.Unpin(name)
+	}
+	switch {
+	case f.opts.RetainInstances:
 		f.mu.Lock()
 		f.instances[name] = append(f.instances[name], instance)
 		f.mu.Unlock()
-	} else {
-		if err := vm.Stop(); err != nil {
-			return inv, err
+	case f.opts.WarmPool:
+		// The topic is per-invocation: delete it before pooling so an
+		// idle VM holds no queue. Pause, then park; a VM that cannot
+		// pause is broken and dropped.
+		f.env.Bus.DeleteTopic(instance.Topic)
+		instance.Topic = ""
+		if err := vm.Pause(); err != nil {
+			_ = vm.Stop()
+			return nil
 		}
-		f.env.Bus.DeleteTopic(topic)
+		f.pool.Release(name, instance, opts.At)
+	default:
+		stopErr := vm.Stop()
+		f.env.Bus.DeleteTopic(instance.Topic)
+		if stopErr != nil {
+			return stopErr
+		}
 	}
-	// Chained child invocations accumulate into the parent's breakdown;
-	// only the top-level request is a platform invocation.
-	if opts.Parent == nil {
-		platform.ObserveInvocation(f.env.Metrics, "fireworks", inv)
+	return nil
+}
+
+// discardInstance is the pool's eviction teardown: stop the microVM and
+// delete any leftover topic.
+func (f *Framework) discardInstance(in *Instance) {
+	if in.VM.State() != vmm.StateStopped {
+		_ = in.VM.Stop()
 	}
-	return inv, nil
+	if in.Topic != "" {
+		f.env.Bus.DeleteTopic(in.Topic)
+	}
+}
+
+// ExpireIdle implements platform.Platform: reap pooled VMs idle past
+// Options.PoolKeepAlive at workload-timeline position now.
+func (f *Framework) ExpireIdle(now time.Duration) int {
+	return f.pool.ExpireIdle(now)
+}
+
+// WarmCount implements platform.Platform: the idle pool size for a
+// function.
+func (f *Framework) WarmCount(name string) int {
+	return f.pool.Count(name)
 }
 
 // Remove implements platform.Platform.
@@ -412,6 +660,14 @@ func (f *Framework) Remove(name string) error {
 		f.env.Bus.DeleteTopic(instance.Topic)
 	}
 	delete(f.instances, name)
+	for _, pooled := range f.pool.DrainKey(name) {
+		if err := pooled.VM.Stop(); err != nil {
+			return err
+		}
+		if pooled.Topic != "" {
+			f.env.Bus.DeleteTopic(pooled.Topic)
+		}
+	}
 	f.env.Snaps.Remove(name)
 	if f.env.RemoteSnaps != nil {
 		f.env.RemoteSnaps.Delete(name)
@@ -420,14 +676,18 @@ func (f *Framework) Remove(name string) error {
 	return nil
 }
 
-// Spaces returns the address spaces of the function's retained
-// instances (implements the experiment harness's MemoryReporter).
+// Spaces returns the address spaces of the function's retained and
+// pooled instances (implements the experiment harness's
+// MemoryReporter).
 func (f *Framework) Spaces(name string) []*mem.Space {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var out []*mem.Space
 	for _, instance := range f.instances[name] {
 		out = append(out, instance.VM.Space())
+	}
+	for _, pooled := range f.pool.Guests(name) {
+		out = append(out, pooled.VM.Space())
 	}
 	return out
 }

@@ -67,12 +67,6 @@ func RunWild() (*Result, error) {
 	// memory; resident memory is *measured* from the host, not modeled.
 	owEnv := newEnv()
 	ow := platform.NewOpenWhiskKeepAlive(owEnv, wildKeepAlive)
-	reaper, ok := ow.(interface {
-		ExpireIdle(now time.Duration) int
-	})
-	if !ok {
-		return nil, fmt.Errorf("wild: openwhisk platform lost its reaper")
-	}
 	for _, f := range trace.Functions {
 		if _, err := ow.Install(platform.Function{Name: f.Name, Source: source, Lang: runtime.LangNode}); err != nil {
 			return nil, err
@@ -98,7 +92,7 @@ func RunWild() (*Result, error) {
 			agg.startup += inv.Breakdown.Startup()
 		}
 		// Background reaper, then a time-weighted memory sample.
-		reaper.ExpireIdle(tick)
+		ow.ExpireIdle(tick)
 		owOut.residentByteMinutes += float64(owEnv.Mem.Used()) * sampleStep.Minutes()
 	}
 

@@ -1,0 +1,85 @@
+package lifecycle
+
+// Cleanup is a LIFO stack of teardown functions accumulated while an
+// invocation makes progress: each pipeline stage registers the undo for
+// the resources it just claimed (delete the topic, stop the VM, unpin
+// the snapshot), and a failure anywhere unwinds the whole stack exactly
+// once, in reverse order. A successful run disarms the stack instead,
+// leaving the resources to the invocation's release stage.
+//
+// Cleanup is not safe for concurrent use; each pipeline run owns its
+// own.
+type Cleanup struct {
+	fns     []func()
+	settled bool
+}
+
+// Defer pushes a teardown function onto the stack.
+func (c *Cleanup) Defer(fn func()) { c.fns = append(c.fns, fn) }
+
+// Unwind runs every deferred teardown in LIFO order. It runs at most
+// once: later calls (and calls after Disarm) are no-ops, so a teardown
+// can never fire twice.
+func (c *Cleanup) Unwind() {
+	if c.settled {
+		return
+	}
+	c.settled = true
+	for i := len(c.fns) - 1; i >= 0; i-- {
+		c.fns[i]()
+	}
+	c.fns = nil
+}
+
+// Disarm drops the stack without running it — the success path, where
+// the claimed resources outlive the pipeline.
+func (c *Cleanup) Disarm() {
+	c.settled = true
+	c.fns = nil
+}
+
+// Pipeline runs named stages in order, sharing one Cleanup stack. The
+// first stage error stops the run, unwinds the stack, and is returned
+// verbatim — the runner never wraps stage errors, so error text the
+// callers (and their tests) match on survives the refactor.
+//
+// A Pipeline is built and run once per invocation; it is not safe for
+// concurrent use.
+type Pipeline struct {
+	stages []pipelineStage
+	failed string
+}
+
+type pipelineStage struct {
+	name string
+	run  func(cl *Cleanup) error
+}
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// Stage appends a named stage and returns the pipeline for chaining.
+func (p *Pipeline) Stage(name string, run func(cl *Cleanup) error) *Pipeline {
+	p.stages = append(p.stages, pipelineStage{name: name, run: run})
+	return p
+}
+
+// Run executes the stages in order. On the first error the cleanup
+// stack unwinds and the error is returned unchanged; on success the
+// stack is disarmed.
+func (p *Pipeline) Run() error {
+	cl := &Cleanup{}
+	for _, s := range p.stages {
+		if err := s.run(cl); err != nil {
+			p.failed = s.name
+			cl.Unwind()
+			return err
+		}
+	}
+	cl.Disarm()
+	return nil
+}
+
+// Failed names the stage whose error stopped the last Run, or "" when
+// every stage succeeded — for labeled failure metrics.
+func (p *Pipeline) Failed() string { return p.failed }

@@ -1,0 +1,111 @@
+package lifecycle
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPipelineRunsStagesInOrder(t *testing.T) {
+	var order []string
+	err := NewPipeline().
+		Stage("one", func(cl *Cleanup) error { order = append(order, "one"); return nil }).
+		Stage("two", func(cl *Cleanup) error { order = append(order, "two"); return nil }).
+		Stage("three", func(cl *Cleanup) error { order = append(order, "three"); return nil }).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "one" || order[1] != "two" || order[2] != "three" {
+		t.Fatalf("stage order = %v", order)
+	}
+}
+
+func TestPipelineFailureUnwindsLIFOAndSkipsLaterStages(t *testing.T) {
+	boom := errors.New("boom")
+	var events []string
+	p := NewPipeline().
+		Stage("claim-a", func(cl *Cleanup) error {
+			cl.Defer(func() { events = append(events, "undo-a") })
+			return nil
+		}).
+		Stage("claim-b", func(cl *Cleanup) error {
+			cl.Defer(func() { events = append(events, "undo-b") })
+			return nil
+		}).
+		Stage("fail", func(cl *Cleanup) error { return boom }).
+		Stage("never", func(cl *Cleanup) error {
+			events = append(events, "never")
+			return nil
+		})
+	err := p.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want the stage error unchanged", err)
+	}
+	if err.Error() != "boom" {
+		t.Fatalf("error text %q was wrapped", err.Error())
+	}
+	if p.Failed() != "fail" {
+		t.Fatalf("Failed = %q, want %q", p.Failed(), "fail")
+	}
+	want := []string{"undo-b", "undo-a"}
+	if len(events) != 2 || events[0] != want[0] || events[1] != want[1] {
+		t.Fatalf("events = %v, want %v (LIFO, later stages skipped)", events, want)
+	}
+}
+
+func TestPipelineSuccessDisarmsCleanup(t *testing.T) {
+	ran := false
+	err := NewPipeline().
+		Stage("claim", func(cl *Cleanup) error {
+			cl.Defer(func() { ran = true })
+			return nil
+		}).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cleanup ran on the success path")
+	}
+}
+
+func TestCleanupUnwindRunsExactlyOnce(t *testing.T) {
+	count := 0
+	cl := &Cleanup{}
+	cl.Defer(func() { count++ })
+	cl.Unwind()
+	cl.Unwind()
+	if count != 1 {
+		t.Fatalf("teardown ran %d times, want 1", count)
+	}
+}
+
+func TestCleanupDisarmBlocksUnwind(t *testing.T) {
+	count := 0
+	cl := &Cleanup{}
+	cl.Defer(func() { count++ })
+	cl.Disarm()
+	cl.Unwind()
+	if count != 0 {
+		t.Fatalf("teardown ran %d times after Disarm", count)
+	}
+}
+
+func TestPipelineStageErrorMidStackUnwindsOwnDefers(t *testing.T) {
+	// A stage that registers its own undo and then fails: the undo it
+	// just registered must also run.
+	boom := errors.New("mid-stage failure")
+	var events []string
+	err := NewPipeline().
+		Stage("partial", func(cl *Cleanup) error {
+			cl.Defer(func() { events = append(events, "undo-partial") })
+			return boom
+		}).
+		Run()
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0] != "undo-partial" {
+		t.Fatalf("events = %v", events)
+	}
+}

@@ -193,11 +193,30 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// WriteFormat renders the snapshot in a named format: "text" or
+// "json". Every CLI dump flag funnels through this one switch so the
+// accepted names and the error text stay identical across commands.
+func (s Snapshot) WriteFormat(w io.Writer, format string) error {
+	switch format {
+	case "text":
+		return s.WriteText(w)
+	case "json":
+		return s.WriteJSON(w)
+	default:
+		return fmt.Errorf("unknown -metrics format %q (want text or json)", format)
+	}
+}
+
 // WriteText snapshots the registry and renders it as text.
 func (r *Registry) WriteText(w io.Writer) error { return r.Snapshot().WriteText(w) }
 
 // WriteJSON snapshots the registry and renders it as JSON.
 func (r *Registry) WriteJSON(w io.Writer) error { return r.Snapshot().WriteJSON(w) }
+
+// WriteFormat snapshots the registry and renders it in a named format.
+func (r *Registry) WriteFormat(w io.Writer, format string) error {
+	return r.Snapshot().WriteFormat(w, format)
+}
 
 // formatValue renders one histogram value under a unit: duration-unit
 // values as time.Duration, everything else as a compact float.

@@ -125,6 +125,14 @@ func (b *Broker) DeleteTopic(name string) {
 	delete(b.topics, name)
 }
 
+// TopicCount reports how many topics exist. The lifecycle tests use it
+// to prove no per-invocation topic outlives its invocation.
+func (b *Broker) TopicCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.topics)
+}
+
 // HasTopic reports whether the topic exists.
 func (b *Broker) HasTopic(name string) bool {
 	b.mu.Lock()

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fs"
 	"repro/internal/lang"
+	"repro/internal/lifecycle"
 	"repro/internal/mem"
 	"repro/internal/runtime"
 	"repro/internal/sandbox"
@@ -34,14 +35,14 @@ type containerPlatform struct {
 	// chains enables the invoke() native (OpenWhisk can run function
 	// chains; the bare sandbox managers cannot — §5.3).
 	chains bool
-	// keepAlive bounds how long an idle warm container stays resident
-	// on the workload timeline (InvokeOptions.At); zero keeps
-	// containers forever (the default for untimed invocations).
-	keepAlive time.Duration
+	// pool holds idle warm containers; its keep-alive TTL bounds how
+	// long one stays resident on the workload timeline
+	// (InvokeOptions.At); zero keeps containers forever (the default
+	// for untimed invocations).
+	pool *lifecycle.Pool[*containerGuest]
 
 	mu     sync.Mutex
 	fns    map[string]*Function
-	warm   map[string][]*containerGuest
 	nextID int
 }
 
@@ -55,9 +56,6 @@ type containerGuest struct {
 	overlay   *fs.Overlay
 	binding   *NativeBinding
 	heapAlloc bool
-	// lastUsed is the workload-timeline position of the guest's latest
-	// invocation (keep-alive bookkeeping).
-	lastUsed time.Duration
 }
 
 // NewOpenWhisk returns the OpenWhisk baseline: container sandboxes plus
@@ -70,29 +68,37 @@ func NewOpenWhisk(env *Env) Platform { return NewOpenWhiskKeepAlive(env, 0) }
 // (InvokeOptions.At), releasing their memory — the production policy
 // ("defer termination of the worker sandbox for a certain period", §2).
 func NewOpenWhiskKeepAlive(env *Env, ttl time.Duration) Platform {
-	return &containerPlatform{
+	p := &containerPlatform{
 		env:          env,
 		name:         "openwhisk",
 		profile:      sandbox.Profiles(sandbox.ClassContainer),
 		coldOverhead: costOWColdController,
 		warmOverhead: costOWWarmController,
 		chains:       true,
-		keepAlive:    ttl,
 		fns:          make(map[string]*Function),
-		warm:         make(map[string][]*containerGuest),
 	}
+	p.pool = lifecycle.NewPool(lifecycle.PoolConfig[*containerGuest]{
+		TTL:     ttl,
+		OnEvict: func(g *containerGuest) { g.space.Free() },
+	})
+	p.pool.Instrument(env.Metrics, p.name)
+	return p
 }
 
 // NewGVisor returns the gVisor baseline: runsc sandboxes under plain
 // Docker (no controller, no chain support).
 func NewGVisor(env *Env) Platform {
-	return &containerPlatform{
+	p := &containerPlatform{
 		env:     env,
 		name:    "gvisor",
 		profile: sandbox.Profiles(sandbox.ClassGVisor),
 		fns:     make(map[string]*Function),
-		warm:    make(map[string][]*containerGuest),
 	}
+	p.pool = lifecycle.NewPool(lifecycle.PoolConfig[*containerGuest]{
+		OnEvict: func(g *containerGuest) { g.space.Free() },
+	})
+	p.pool.Instrument(env.Metrics, p.name)
+	return p
 }
 
 // PlatformName implements Platform.
@@ -117,10 +123,9 @@ func (p *containerPlatform) Remove(name string) error {
 	if _, ok := p.fns[name]; !ok {
 		return fmt.Errorf("%s: no function %q", p.name, name)
 	}
-	for _, g := range p.warm[name] {
+	for _, g := range p.pool.DrainKey(name) {
 		g.space.Free()
 	}
-	delete(p.warm, name)
 	delete(p.fns, name)
 	return nil
 }
@@ -172,7 +177,7 @@ func (p *containerPlatform) Invoke(name string, params lang.Value, opts InvokeOp
 		inv.Breakdown.Add(trace.PhaseExec, "syscall-interception", tax)
 	}
 	if err != nil {
-		p.release(guest)
+		p.release(guest, opts.At)
 		observeInvokeError(p.env.Metrics, p.name)
 		return inv, fmt.Errorf("%s: %s: %w", p.name, name, err)
 	}
@@ -196,8 +201,7 @@ func (p *containerPlatform) Invoke(name string, params lang.Value, opts InvokeOp
 		inv.Response = &Response{Status: 200, Body: body}
 	}
 
-	guest.lastUsed = opts.At
-	p.release(guest)
+	p.release(guest, opts.At)
 	if opts.Parent == nil {
 		observeInvocation(p.env.Metrics, p.name, inv)
 	}
@@ -208,34 +212,14 @@ func (p *containerPlatform) Invoke(name string, params lang.Value, opts InvokeOp
 // Pool entries whose keep-alive expired before `at` are terminated
 // (their memory released) instead of reused.
 func (p *containerPlatform) acquire(fn *Function, mode StartMode, inv *Invocation, at time.Duration) (*containerGuest, StartMode, error) {
-	p.mu.Lock()
-	var guest *containerGuest
-	var expired []*containerGuest
 	if mode != ModeCold {
-		pool := p.warm[fn.Name]
-		for len(pool) > 0 {
-			candidate := pool[len(pool)-1]
-			pool = pool[:len(pool)-1]
-			if p.keepAlive > 0 && at > candidate.lastUsed+p.keepAlive {
-				expired = append(expired, candidate)
-				continue
+		if guest, ok := p.pool.Acquire(fn.Name, at); ok {
+			if p.warmOverhead > 0 {
+				inv.ChargeStartup("controller", p.warmOverhead)
 			}
-			guest = candidate
-			break
+			inv.ChargeStartup("container-unpause", p.profile.WarmResume)
+			return guest, ModeWarm, nil
 		}
-		p.warm[fn.Name] = pool
-	}
-	p.mu.Unlock()
-	for _, e := range expired {
-		e.space.Free()
-	}
-
-	if guest != nil {
-		if p.warmOverhead > 0 {
-			inv.ChargeStartup("controller", p.warmOverhead)
-		}
-		inv.ChargeStartup("container-unpause", p.profile.WarmResume)
-		return guest, ModeWarm, nil
 	}
 	if mode == ModeWarm {
 		return nil, mode, fmt.Errorf("%s: no warm sandbox for %q", p.name, fn.Name)
@@ -258,7 +242,7 @@ func (p *containerPlatform) acquire(fn *Function, mode StartMode, inv *Invocatio
 
 	rt := runtime.New(fn.Lang, inv.Clock)
 	overlay := fs.NewOverlay(fs.NewMemFS())
-	guest = &containerGuest{id: id, fn: fn, rt: rt, space: space, overlay: overlay}
+	guest := &containerGuest{id: id, fn: fn, rt: rt, space: space, overlay: overlay}
 	guest.binding = &NativeBinding{
 		Profile: p.profile,
 		FS:      overlay,
@@ -284,59 +268,33 @@ func (p *containerPlatform) acquire(fn *Function, mode StartMode, inv *Invocatio
 	return guest, ModeCold, nil
 }
 
-// release returns a guest to the warm pool (OpenWhisk's keep-alive).
-func (p *containerPlatform) release(g *containerGuest) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.warm[g.fn.Name] = append(p.warm[g.fn.Name], g)
+// release returns a guest to the warm pool (OpenWhisk's keep-alive),
+// stamping it with the invocation's workload-timeline position.
+func (p *containerPlatform) release(g *containerGuest, at time.Duration) {
+	p.pool.Release(g.fn.Name, g, at)
 }
 
-// ExpireIdle terminates every pooled container idle past the keep-alive
-// at timeline position now, releasing its memory; it returns how many
-// were reaped. (Acquire also expires lazily; this is the background
-// reaper that reclaims memory for functions that are never called
-// again.)
+// ExpireIdle implements Platform: terminate every pooled container idle
+// past the keep-alive at timeline position now, releasing its memory.
+// (Acquire also expires lazily; this is the background reaper that
+// reclaims memory for functions that are never called again.)
 func (p *containerPlatform) ExpireIdle(now time.Duration) int {
-	if p.keepAlive == 0 {
-		return 0
-	}
-	p.mu.Lock()
-	var victims []*containerGuest
-	for name, pool := range p.warm {
-		var kept []*containerGuest
-		for _, g := range pool {
-			if now > g.lastUsed+p.keepAlive {
-				victims = append(victims, g)
-			} else {
-				kept = append(kept, g)
-			}
-		}
-		p.warm[name] = kept
-	}
-	p.mu.Unlock()
-	for _, g := range victims {
-		g.space.Free()
-	}
-	return len(victims)
+	return p.pool.ExpireIdle(now)
 }
 
 // Spaces returns the address spaces of the function's pooled containers
 // (implements the harness's MemoryReporter).
 func (p *containerPlatform) Spaces(name string) []*mem.Space {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []*mem.Space
-	for _, g := range p.warm[name] {
+	for _, g := range p.pool.Guests(name) {
 		out = append(out, g.space)
 	}
 	return out
 }
 
-// WarmCount reports the pool size for a function (for tests).
+// WarmCount implements Platform: the idle pool size for a function.
 func (p *containerPlatform) WarmCount(name string) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.warm[name])
+	return p.pool.Count(name)
 }
 
 // encodedSize estimates the wire size of params.

@@ -3,8 +3,10 @@ package platform
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/lang"
+	"repro/internal/lifecycle"
 	"repro/internal/mem"
 	"repro/internal/runtime"
 	"repro/internal/sandbox"
@@ -44,10 +46,11 @@ type firecrackerPlatform struct {
 	env     *Env
 	mode    FirecrackerMode
 	profile sandbox.Profile
+	// pool holds idle paused microVMs awaiting a warm resume.
+	pool *lifecycle.Pool[*fcGuest]
 
 	mu     sync.Mutex
 	fns    map[string]*Function
-	warm   map[string][]*fcGuest
 	osSnap map[string]*vmm.Snapshot
 }
 
@@ -61,14 +64,18 @@ type fcGuest struct {
 
 // NewFirecracker returns the Firecracker baseline in the given mode.
 func NewFirecracker(env *Env, mode FirecrackerMode) Platform {
-	return &firecrackerPlatform{
+	p := &firecrackerPlatform{
 		env:     env,
 		mode:    mode,
 		profile: sandbox.Profiles(sandbox.ClassFirecracker),
 		fns:     make(map[string]*Function),
-		warm:    make(map[string][]*fcGuest),
 		osSnap:  make(map[string]*vmm.Snapshot),
 	}
+	p.pool = lifecycle.NewPool(lifecycle.PoolConfig[*fcGuest]{
+		OnEvict: func(g *fcGuest) { _ = g.vm.Stop() },
+	})
+	p.pool.Instrument(env.Metrics, p.PlatformName())
+	return p
 }
 
 // PlatformName implements Platform.
@@ -127,12 +134,11 @@ func (p *firecrackerPlatform) Remove(name string) error {
 	if _, ok := p.fns[name]; !ok {
 		return fmt.Errorf("%s: no function %q", p.PlatformName(), name)
 	}
-	for _, g := range p.warm[name] {
+	for _, g := range p.pool.DrainKey(name) {
 		if err := g.vm.Stop(); err != nil {
 			return err
 		}
 	}
-	delete(p.warm, name)
 	delete(p.osSnap, name)
 	delete(p.fns, name)
 	return nil
@@ -153,7 +159,7 @@ func (p *firecrackerPlatform) Invoke(name string, params lang.Value, opts Invoke
 	paramBytes := encodedSize(params)
 	inv.ChargeOther("param-deliver", p.profile.NetOpBase+timePerKB(p.profile, paramBytes))
 
-	guest, mode, err := p.acquire(fn, opts.Mode, inv)
+	guest, mode, err := p.acquire(fn, opts.Mode, inv, opts.At)
 	if err != nil {
 		observeInvokeError(p.env.Metrics, p.PlatformName())
 		return nil, err
@@ -170,7 +176,7 @@ func (p *firecrackerPlatform) Invoke(name string, params lang.Value, opts Invoke
 	span := inv.Clock.Since(mark)
 	inv.Breakdown.Add(trace.PhaseExec, "exec", span-(inv.Breakdown.Total()-attributedBefore))
 	if err != nil {
-		p.release(guest)
+		p.release(guest, opts.At)
 		observeInvokeError(p.env.Metrics, p.PlatformName())
 		return inv, fmt.Errorf("%s: %s: %w", p.PlatformName(), name, err)
 	}
@@ -188,30 +194,24 @@ func (p *firecrackerPlatform) Invoke(name string, params lang.Value, opts Invoke
 		inv.ChargeOther("response", p.profile.NetOpBase+timePerKB(p.profile, len(body)))
 		inv.Response = &Response{Status: 200, Body: body}
 	}
-	p.release(guest)
+	p.release(guest, opts.At)
 	if opts.Parent == nil {
 		observeInvocation(p.env.Metrics, p.PlatformName(), inv)
 	}
 	return inv, nil
 }
 
-func (p *firecrackerPlatform) acquire(fn *Function, mode StartMode, inv *Invocation) (*fcGuest, StartMode, error) {
-	p.mu.Lock()
-	pool := p.warm[fn.Name]
-	var guest *fcGuest
-	if mode != ModeCold && len(pool) > 0 {
-		guest = pool[len(pool)-1]
-		p.warm[fn.Name] = pool[:len(pool)-1]
-	}
-	p.mu.Unlock()
-
-	if guest != nil {
-		warmMark := inv.Clock.Now()
-		if err := guest.vm.ResumeWarm(inv.Clock); err != nil {
-			return nil, mode, err
+func (p *firecrackerPlatform) acquire(fn *Function, mode StartMode, inv *Invocation, at time.Duration) (*fcGuest, StartMode, error) {
+	if mode != ModeCold {
+		if guest, ok := p.pool.Acquire(fn.Name, at); ok {
+			warmMark := inv.Clock.Now()
+			if err := guest.vm.ResumeWarm(inv.Clock); err != nil {
+				_ = guest.vm.Stop()
+				return nil, mode, err
+			}
+			inv.Breakdown.Add(trace.PhaseStartup, "vm-resume", inv.Clock.Since(warmMark))
+			return guest, ModeWarm, nil
 		}
-		inv.Breakdown.Add(trace.PhaseStartup, "vm-resume", inv.Clock.Since(warmMark))
-		return guest, ModeWarm, nil
 	}
 	if mode == ModeWarm {
 		return nil, mode, fmt.Errorf("%s: no warm microVM for %q", p.PlatformName(), fn.Name)
@@ -249,7 +249,7 @@ func (p *firecrackerPlatform) acquire(fn *Function, mode StartMode, inv *Invocat
 	}
 
 	rt := runtime.New(fn.Lang, inv.Clock)
-	guest = &fcGuest{vm: vm_, fn: fn, rt: rt}
+	guest := &fcGuest{vm: vm_, fn: fn, rt: rt}
 	guest.binding = &NativeBinding{
 		Profile: p.profile,
 		FS:      vm_.FS,
@@ -277,22 +277,29 @@ func (p *firecrackerPlatform) acquire(fn *Function, mode StartMode, inv *Invocat
 // microVMs, for the memory experiments (implements the harness's
 // MemoryReporter).
 func (p *firecrackerPlatform) Spaces(name string) []*mem.Space {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []*mem.Space
-	for _, g := range p.warm[name] {
+	for _, g := range p.pool.Guests(name) {
 		out = append(out, g.vm.Space())
 	}
 	return out
 }
 
-func (p *firecrackerPlatform) release(g *fcGuest) {
+func (p *firecrackerPlatform) release(g *fcGuest, at time.Duration) {
 	if err := g.vm.Pause(); err != nil {
 		// A VM that cannot pause is broken; drop it.
 		_ = g.vm.Stop()
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.warm[g.fn.Name] = append(p.warm[g.fn.Name], g)
+	p.pool.Release(g.fn.Name, g, at)
+}
+
+// ExpireIdle implements Platform. The Firecracker baseline keeps warm
+// VMs indefinitely (no keep-alive TTL), so the reaper is a no-op.
+func (p *firecrackerPlatform) ExpireIdle(now time.Duration) int {
+	return p.pool.ExpireIdle(now)
+}
+
+// WarmCount implements Platform: the idle pool size for a function.
+func (p *firecrackerPlatform) WarmCount(name string) int {
+	return p.pool.Count(name)
 }

@@ -3,9 +3,11 @@ package platform
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/fs"
 	"repro/internal/lang"
+	"repro/internal/lifecycle"
 	"repro/internal/mem"
 	"repro/internal/runtime"
 	"repro/internal/sandbox"
@@ -28,10 +30,11 @@ import (
 type isolatePlatform struct {
 	env     *Env
 	profile sandbox.Profile
+	// pool holds idle isolates awaiting reuse.
+	pool *lifecycle.Pool[*isolateGuest]
 
 	mu     sync.Mutex
 	fns    map[string]*Function
-	warm   map[string][]*isolateGuest
 	nextID int
 	// processImage is the single runtime process's shared pages
 	// (runtime text + stdlib), mapped by every isolate.
@@ -51,14 +54,18 @@ type isolateGuest struct {
 // sandbox platform.
 func NewIsolate(env *Env) Platform {
 	model := runtime.ModelFor(runtime.LangNode)
-	return &isolatePlatform{
+	p := &isolatePlatform{
 		env:     env,
 		profile: sandbox.Profiles(sandbox.ClassIsolate),
 		fns:     make(map[string]*Function),
-		warm:    make(map[string][]*isolateGuest),
 		processImage: env.Mem.NewRegion("v8-process", mem.KindRuntime,
 			mem.PagesFor(model.RuntimeImageBytes+model.LibraryBytes)),
 	}
+	p.pool = lifecycle.NewPool(lifecycle.PoolConfig[*isolateGuest]{
+		OnEvict: func(g *isolateGuest) { g.space.Free() },
+	})
+	p.pool.Instrument(env.Metrics, "isolate")
+	return p
 }
 
 // PlatformName implements Platform.
@@ -85,10 +92,9 @@ func (p *isolatePlatform) Remove(name string) error {
 	if _, ok := p.fns[name]; !ok {
 		return fmt.Errorf("isolate: no function %q", name)
 	}
-	for _, g := range p.warm[name] {
+	for _, g := range p.pool.DrainKey(name) {
 		g.space.Free()
 	}
-	delete(p.warm, name)
 	delete(p.fns, name)
 	return nil
 }
@@ -107,7 +113,7 @@ func (p *isolatePlatform) Invoke(name string, params lang.Value, opts InvokeOpti
 	}
 	inv.ChargeOther("param-deliver", p.profile.NetOpBase+timePerKB(p.profile, encodedSize(params)))
 
-	guest, mode, err := p.acquire(fn, opts.Mode, inv)
+	guest, mode, err := p.acquire(fn, opts.Mode, inv, opts.At)
 	if err != nil {
 		observeInvokeError(p.env.Metrics, "isolate")
 		return nil, err
@@ -123,7 +129,7 @@ func (p *isolatePlatform) Invoke(name string, params lang.Value, opts InvokeOpti
 	span := inv.Clock.Since(mark)
 	inv.Breakdown.Add(trace.PhaseExec, "exec", span-(inv.Breakdown.Total()-attributedBefore))
 	if err != nil {
-		p.release(guest)
+		p.release(guest, opts.At)
 		observeInvokeError(p.env.Metrics, "isolate")
 		return inv, fmt.Errorf("isolate: %s: %w", name, err)
 	}
@@ -141,25 +147,19 @@ func (p *isolatePlatform) Invoke(name string, params lang.Value, opts InvokeOpti
 		inv.ChargeOther("response", p.profile.NetOpBase+timePerKB(p.profile, len(body)))
 		inv.Response = &Response{Status: 200, Body: body}
 	}
-	p.release(guest)
+	p.release(guest, opts.At)
 	if opts.Parent == nil {
 		observeInvocation(p.env.Metrics, "isolate", inv)
 	}
 	return inv, nil
 }
 
-func (p *isolatePlatform) acquire(fn *Function, mode StartMode, inv *Invocation) (*isolateGuest, StartMode, error) {
-	p.mu.Lock()
-	pool := p.warm[fn.Name]
-	var guest *isolateGuest
-	if mode != ModeCold && len(pool) > 0 {
-		guest = pool[len(pool)-1]
-		p.warm[fn.Name] = pool[:len(pool)-1]
-	}
-	p.mu.Unlock()
-	if guest != nil {
-		inv.ChargeStartup("isolate-resume", p.profile.WarmResume)
-		return guest, ModeWarm, nil
+func (p *isolatePlatform) acquire(fn *Function, mode StartMode, inv *Invocation, at time.Duration) (*isolateGuest, StartMode, error) {
+	if mode != ModeCold {
+		if guest, ok := p.pool.Acquire(fn.Name, at); ok {
+			inv.ChargeStartup("isolate-resume", p.profile.WarmResume)
+			return guest, ModeWarm, nil
+		}
 	}
 	if mode == ModeWarm {
 		return nil, mode, fmt.Errorf("isolate: no warm isolate for %q", fn.Name)
@@ -179,7 +179,7 @@ func (p *isolatePlatform) acquire(fn *Function, mode StartMode, inv *Invocation)
 	space.AllocPrivate(mem.KindAnon, mem.PagesFor(p.profile.InfraBytes))
 
 	rt := runtime.New(fn.Lang, inv.Clock)
-	guest = &isolateGuest{id: id, fn: fn, rt: rt, space: space}
+	guest := &isolateGuest{id: id, fn: fn, rt: rt, space: space}
 	// Workers have no real filesystem; give each isolate a private
 	// scratch FS so file natives still behave.
 	guest.binding = &NativeBinding{Profile: p.profile, FS: fs.NewMemFS(), Couch: p.env.Couch, Inv: inv}
@@ -197,18 +197,25 @@ func (p *isolatePlatform) acquire(fn *Function, mode StartMode, inv *Invocation)
 	return guest, ModeCold, nil
 }
 
-func (p *isolatePlatform) release(g *isolateGuest) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.warm[g.fn.Name] = append(p.warm[g.fn.Name], g)
+func (p *isolatePlatform) release(g *isolateGuest, at time.Duration) {
+	p.pool.Release(g.fn.Name, g, at)
+}
+
+// ExpireIdle implements Platform. Workers keeps isolates resident as
+// long as the process lives (no keep-alive TTL), so this reaps nothing.
+func (p *isolatePlatform) ExpireIdle(now time.Duration) int {
+	return p.pool.ExpireIdle(now)
+}
+
+// WarmCount implements Platform: the idle pool size for a function.
+func (p *isolatePlatform) WarmCount(name string) int {
+	return p.pool.Count(name)
 }
 
 // Spaces implements the harness's MemoryReporter.
 func (p *isolatePlatform) Spaces(name string) []*mem.Space {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []*mem.Space
-	for _, g := range p.warm[name] {
+	for _, g := range p.pool.Guests(name) {
 		out = append(out, g.space)
 	}
 	return out

@@ -77,6 +77,7 @@ type Hypervisor struct {
 	restoreDur  *metrics.Histogram
 	snapshots   *metrics.Counter
 	snapshotDur *metrics.Histogram
+	warmResumes *metrics.Counter
 }
 
 // New returns a hypervisor on the given host and network router.
@@ -98,6 +99,7 @@ func (h *Hypervisor) Instrument(reg *metrics.Registry) {
 	h.restoreDur = reg.Histogram("vmm_snapshot_restore_duration")
 	h.snapshots = reg.Counter("vmm_snapshots_taken_total")
 	h.snapshotDur = reg.Histogram("vmm_snapshot_capture_duration")
+	h.warmResumes = reg.Counter("vmm_warm_resumes_total")
 }
 
 // MicroVM is one simulated Firecracker microVM.
@@ -211,6 +213,7 @@ func (v *MicroVM) ResumeWarm(clock *vclock.Clock) error {
 	}
 	clock.Advance(CostWarmResume)
 	v.state = StateRunning
+	v.hv.warmResumes.Inc()
 	return nil
 }
 
