@@ -15,7 +15,8 @@ test:
 	$(GO) test ./...
 
 # The concurrency-bearing subsystems — the cluster scheduler, the
-# metrics registry, the shared lifecycle pool, and the Fireworks invoke
-# pipeline — additionally run under the race detector.
+# metrics registry, the shared lifecycle pool, the Fireworks invoke
+# pipeline, and the fault-injection plane — additionally run under the
+# race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/...
+	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/...

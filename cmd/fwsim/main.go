@@ -28,6 +28,15 @@
 // placement) to stdout, then exits.
 //
 //	fwsim -metrics text -nodes 3 -invocations 12
+//
+// With -faults the deterministic fault-injection plane is armed
+// (internal/faults): the seed pins the fault schedule, the rate is the
+// per-operation fault probability, and the platform runs with its
+// default retry and failover policies so injected faults are mostly
+// absorbed rather than surfaced.
+//
+//	fwsim -metrics text -faults seed=7,rate=0.05
+//	fwsim -addr :8080 -faults seed=7,rate=0.01
 package main
 
 import (
@@ -39,10 +48,13 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
 	"repro/internal/workloads"
@@ -69,23 +81,79 @@ func main() {
 	metricsDump := flag.String("metrics", "", `dump mode: run a cluster demo and write the metrics snapshot to stdout ("text" or "json"), then exit`)
 	nodes := flag.Int("nodes", 3, "cluster size for the -metrics demo")
 	invocations := flag.Int("invocations", 12, "invocations to run in the -metrics demo")
+	faultsSpec := flag.String("faults", "", `arm deterministic fault injection: "seed=N,rate=P" (rate is per-operation probability, e.g. 0.01)`)
 	flag.Parse()
 
+	chaos, err := parseFaultsSpec(*faultsSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *metricsDump != "" {
-		if err := runMetricsDemo(os.Stdout, *metricsDump, *nodes, *invocations); err != nil {
+		if err := runMetricsDemo(os.Stdout, *metricsDump, *nodes, *invocations, chaos); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
+	envCfg := platform.EnvConfig{}
+	opts := core.Options{}
+	if chaos != nil {
+		// The gateway is long-lived, so the plane arms immediately and
+		// the platform runs with retries on.
+		envCfg.Faults = faults.DefaultPlan(chaos.seed, chaos.rate)
+		opts.Retry = faults.DefaultRetryPolicy()
+		log.Printf("fault injection armed: seed=%d rate=%g", chaos.seed, chaos.rate)
+	}
 	s := &server{
-		env:      platform.NewEnv(platform.EnvConfig{}),
+		env:      platform.NewEnv(envCfg),
 		installs: make(map[string]*platform.InstallReport),
 	}
-	s.fw = core.New(s.env, core.Options{})
+	s.fw = core.New(s.env, opts)
 
 	log.Printf("fwsim gateway on http://%s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+}
+
+// faultsConfig is a parsed -faults flag.
+type faultsConfig struct {
+	seed uint64
+	rate float64
+}
+
+// parseFaultsSpec parses "seed=N,rate=P" (either key optional, any
+// order). An empty spec disables injection (nil config).
+func parseFaultsSpec(spec string) (*faultsConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	cfg := &faultsConfig{seed: 1, rate: 0.01}
+	for _, field := range strings.Split(spec, ",") {
+		key, value, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("fwsim: -faults field %q is not key=value", field)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fwsim: -faults seed: %w", err)
+			}
+			cfg.seed = n
+		case "rate":
+			r, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fwsim: -faults rate: %w", err)
+			}
+			if r < 0 || r > 1 {
+				return nil, fmt.Errorf("fwsim: -faults rate %v out of [0,1]", r)
+			}
+			cfg.rate = r
+		default:
+			return nil, fmt.Errorf("fwsim: -faults has no key %q (want seed, rate)", key)
+		}
+	}
+	return cfg, nil
 }
 
 // mux registers the gateway's routes.
@@ -103,29 +171,58 @@ func (s *server) mux() *http.ServeMux {
 // runMetricsDemo drives a built-in workload across a Fireworks cluster
 // behind the least-inflight placement policy, then writes the shared
 // registry's snapshot: restore counts and latency histograms, CoW
-// faults, queue dwell, and per-node placement counters.
-func runMetricsDemo(w io.Writer, format string, nodes, invocations int) error {
+// faults, queue dwell, and per-node placement counters. With chaos
+// non-nil the fault plane arms after the install (so the one-time
+// deploy cannot fail) and the demo runs with retry + failover on;
+// faulted invocations that still fail are counted, not fatal.
+func runMetricsDemo(w io.Writer, format string, nodes, invocations int, chaos *faultsConfig) error {
 	if nodes <= 0 || invocations <= 0 {
 		return fmt.Errorf("fwsim: -nodes and -invocations must be positive")
 	}
-	c := cluster.New(nodes, cluster.LeastInflight, platform.EnvConfig{},
+	envCfg := platform.EnvConfig{}
+	opts := core.Options{}
+	var plane *faults.Plane
+	if chaos != nil {
+		plane = faults.NewPlane(chaos.seed)
+		envCfg.Faults = plane
+		opts.Retry = faults.DefaultRetryPolicy()
+	}
+	c := cluster.New(nodes, cluster.LeastInflight, envCfg,
 		func(env *platform.Env) platform.Platform {
-			return core.New(env, core.Options{})
+			return core.New(env, opts)
 		})
+	if chaos != nil {
+		c.SetFailover(cluster.FailoverPolicy{MaxFailovers: 2})
+	}
 	wl := workloads.NetLatency(rt.LangNode)
 	if err := c.Install(wl.Function); err != nil {
 		return err
 	}
+	plane.ApplyDefaultPlan(chaosRate(chaos))
 	params := platform.MustParams(nil)
+	failed := 0
 	for i := 0; i < invocations; i++ {
 		if _, _, err := c.Invoke(wl.Name, params, platform.InvokeOptions{}); err != nil {
-			return err
+			if chaos == nil {
+				return err
+			}
+			failed++
 		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fwsim: %d/%d invocations failed despite retry+failover\n", failed, invocations)
 	}
 	if err := c.Metrics().WriteFormat(w, format); err != nil {
 		return fmt.Errorf("fwsim: %w", err)
 	}
 	return nil
+}
+
+func chaosRate(chaos *faultsConfig) float64 {
+	if chaos == nil {
+		return 0
+	}
+	return chaos.rate
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -165,7 +165,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestMetricsDemoDump(t *testing.T) {
 	var buf strings.Builder
-	if err := runMetricsDemo(&buf, "text", 3, 6); err != nil {
+	if err := runMetricsDemo(&buf, "text", 3, 6, nil); err != nil {
 		t.Fatal(err)
 	}
 	text := buf.String()
@@ -186,7 +186,7 @@ func TestMetricsDemoDump(t *testing.T) {
 	}
 
 	var jsonBuf strings.Builder
-	if err := runMetricsDemo(&jsonBuf, "json", 2, 2); err != nil {
+	if err := runMetricsDemo(&jsonBuf, "json", 2, 2, nil); err != nil {
 		t.Fatal(err)
 	}
 	var snap map[string]any
@@ -194,8 +194,37 @@ func TestMetricsDemoDump(t *testing.T) {
 		t.Fatalf("json dump does not parse: %v", err)
 	}
 
-	if err := runMetricsDemo(io.Discard, "yaml", 1, 1); err == nil {
+	if err := runMetricsDemo(io.Discard, "yaml", 1, 1, nil); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestParseFaultsSpec(t *testing.T) {
+	if cfg, err := parseFaultsSpec(""); cfg != nil || err != nil {
+		t.Fatalf("empty spec = %v, %v; want nil, nil", cfg, err)
+	}
+	cfg, err := parseFaultsSpec("seed=9,rate=0.25")
+	if err != nil || cfg.seed != 9 || cfg.rate != 0.25 {
+		t.Fatalf("full spec = %+v, %v", cfg, err)
+	}
+	cfg, err = parseFaultsSpec("rate=0.5")
+	if err != nil || cfg.seed != 1 || cfg.rate != 0.5 {
+		t.Fatalf("rate-only spec = %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"seed", "seed=x", "rate=2", "burst=1"} {
+		if _, err := parseFaultsSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestMetricsDemoWithFaults(t *testing.T) {
+	var buf strings.Builder
+	if err := runMetricsDemo(&buf, "text", 2, 20, &faultsConfig{seed: 7, rate: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "faults_injected_total{") {
+		t.Fatalf("faulted demo dump has no injected faults:\n%s", buf.String())
 	}
 }
 

@@ -19,10 +19,37 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/metrics"
 	"repro/internal/platform"
 )
+
+// Health is a node's availability state. Healthy nodes take traffic
+// normally; Probation nodes (repeated transient failures) are only
+// picked when no healthy candidate exists; Down nodes (crashed) take
+// no traffic until their recovery window elapses.
+type Health int32
+
+// Node health states. The numeric values are what the node_state
+// gauge reports.
+const (
+	Healthy Health = iota
+	Probation
+	Down
+)
+
+// String names the health state.
+func (h Health) String() string {
+	switch h {
+	case Probation:
+		return "probation"
+	case Down:
+		return "down"
+	default:
+		return "healthy"
+	}
+}
 
 // Policy selects how invocations are placed on nodes.
 type Policy int
@@ -53,6 +80,15 @@ func (p Policy) String() string {
 // ErrClusterFull is returned when every node is under memory pressure.
 var ErrClusterFull = errors.New("cluster: all nodes swapping")
 
+// ErrNoHealthyNode is returned when placement finds nodes with memory
+// to spare but every one of them is down or already failed this
+// request.
+var ErrNoHealthyNode = errors.New("cluster: no healthy node available")
+
+// probeTicks is how often placement canaries a probation node when
+// healthy nodes are also available.
+const probeTicks = 4
+
 // Node is one backend server.
 type Node struct {
 	Name     string
@@ -62,8 +98,17 @@ type Node struct {
 	inflight    atomic.Int64
 	invocations atomic.Int64
 
+	// health is written under the cluster mutex but stored atomically
+	// so accessors read it lock-free.
+	health atomic.Int32
+	// consecutive transient failures and the recovery deadline (in
+	// placement ticks) are guarded by the cluster mutex.
+	consecutive int
+	recoverAt   uint64
+
 	invokeCnt *metrics.Counter
 	inflightG *metrics.Gauge
+	healthG   *metrics.Gauge
 }
 
 // Inflight returns the node's current in-flight invocation count.
@@ -72,17 +117,51 @@ func (n *Node) Inflight() int64 { return n.inflight.Load() }
 // Invocations returns the node's lifetime invocation count.
 func (n *Node) Invocations() int64 { return n.invocations.Load() }
 
+// Health returns the node's availability state.
+func (n *Node) Health() Health { return Health(n.health.Load()) }
+
+// setHealth transitions the node's state and mirrors it to the
+// node_state gauge. Callers hold the cluster mutex.
+func (n *Node) setHealth(h Health) {
+	n.health.Store(int32(h))
+	n.healthG.Set(int64(h))
+}
+
+// FailoverPolicy tunes cluster-level resilience to transient node
+// failures (see SetFailover). The zero value disables failover.
+type FailoverPolicy struct {
+	// MaxFailovers is how many additional placements one request may
+	// try after a transient failure; 0 disables failover entirely.
+	MaxFailovers int
+	// ProbationThreshold is how many consecutive transient failures
+	// put a node on probation (default 3).
+	ProbationThreshold int
+	// DownTicks is how many placement ticks a crashed node stays down
+	// before re-entering service on probation (default 25). Ticks
+	// advance on every placement, including failed ones, so recovery
+	// cannot deadlock.
+	DownTicks int
+}
+
 // Cluster is a set of backend nodes behind one placement policy.
 type Cluster struct {
 	policy  Policy
 	nodes   []*Node
 	metrics *metrics.Registry
+	// faults is the shared fault plane armed on every node's Env (nil
+	// when the cluster runs fault-free); the cluster.node site draws
+	// once per placement and can crash the chosen node.
+	faults *faults.Plane
 
 	placements *metrics.Counter
 	rejections *metrics.Counter
+	failovers  *metrics.Counter
+	crashes    *metrics.Counter
 
-	mu sync.Mutex
-	rr int
+	mu       sync.Mutex
+	rr       int
+	ticks    uint64
+	failover FailoverPolicy
 }
 
 // New builds a cluster of n nodes. mk constructs each node's platform
@@ -100,8 +179,12 @@ func New(n int, policy Policy, envCfg platform.EnvConfig,
 	c := &Cluster{
 		policy:     policy,
 		metrics:    reg,
+		faults:     envCfg.Faults,
 		placements: reg.Counter(metrics.Name("cluster_placements_total", "policy", policy.String())),
 		rejections: reg.Counter("cluster_rejections_total"),
+		failovers:  reg.Counter("failovers_total"),
+		crashes:    reg.Counter("cluster_node_crashes_total"),
+		failover:   FailoverPolicy{ProbationThreshold: 3, DownTicks: 25},
 	}
 	for i := 0; i < n; i++ {
 		env := platform.NewEnv(envCfg)
@@ -112,9 +195,28 @@ func New(n int, policy Policy, envCfg platform.EnvConfig,
 			Platform:  mk(env),
 			invokeCnt: reg.Counter(metrics.Name("cluster_node_invocations_total", "node", name)),
 			inflightG: reg.Gauge(metrics.Name("cluster_node_inflight", "node", name)),
+			healthG:   reg.Gauge(metrics.Name("node_state", "node", name)),
 		})
 	}
 	return c
+}
+
+// SetFailover configures cluster-level failover: how many re-placements
+// one request gets after a transient failure, and the health-state
+// thresholds. Zero-valued fields keep their defaults (probation after
+// 3 consecutive transient failures, 25-tick crash recovery) except
+// MaxFailovers, which stays as given — SetFailover(FailoverPolicy{})
+// turns failover off while keeping crash bookkeeping.
+func (c *Cluster) SetFailover(p FailoverPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p.ProbationThreshold <= 0 {
+		p.ProbationThreshold = 3
+	}
+	if p.DownTicks <= 0 {
+		p.DownTicks = 25
+	}
+	c.failover = p
 }
 
 // Metrics returns the cluster's shared registry.
@@ -154,18 +256,75 @@ func (c *Cluster) Remove(name string) error {
 // the fleet instead of all reading the same stale counts and piling
 // onto one node. The caller releases the slot when the invocation
 // completes.
-func (c *Cluster) pick() (*Node, error) {
+func (c *Cluster) pick(exclude map[*Node]bool) (*Node, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	candidates := make([]*Node, 0, len(c.nodes))
+	// Ticks advance on every placement attempt — successful or not —
+	// so crashed nodes always make progress toward recovery.
+	c.ticks++
 	for _, n := range c.nodes {
-		if !n.Env.Mem.Swapping() {
-			candidates = append(candidates, n)
+		if n.Health() == Down && c.ticks >= n.recoverAt {
+			n.consecutive = 0
+			n.setHealth(Probation)
 		}
+	}
+	for {
+		best, err := c.selectLocked(exclude)
+		if err != nil {
+			return nil, err
+		}
+		// One cluster.node draw per placement: a crash fault takes the
+		// chosen node out of the fleet and placement retries on the
+		// survivors.
+		if ferr := c.faults.Inject(faults.SiteClusterNode, nil); ferr != nil {
+			c.crashes.Inc()
+			best.setHealth(Down)
+			best.recoverAt = c.ticks + uint64(c.failover.DownTicks)
+			continue
+		}
+		best.inflight.Add(1)
+		best.inflightG.Add(1)
+		c.placements.Inc()
+		return best, nil
+	}
+}
+
+// selectLocked applies the placement policy to the eligible nodes:
+// not swapping, not down, not already tried by this request. Healthy
+// nodes are preferred; probation nodes serve only when no healthy
+// candidate remains. Callers hold c.mu.
+func (c *Cluster) selectLocked(exclude map[*Node]bool) (*Node, error) {
+	healthy := make([]*Node, 0, len(c.nodes))
+	probation := make([]*Node, 0)
+	swappingOnly := true
+	for _, n := range c.nodes {
+		if n.Env.Mem.Swapping() {
+			continue
+		}
+		swappingOnly = false
+		if n.Health() == Down || exclude[n] {
+			continue
+		}
+		if n.Health() == Probation {
+			probation = append(probation, n)
+		} else {
+			healthy = append(healthy, n)
+		}
+	}
+	candidates := healthy
+	// Probation nodes serve when nothing healthy remains, and every
+	// probeTicks-th placement routes to them deliberately — canary
+	// traffic, without which a probation node behind healthy peers
+	// would never see a request and never redeem itself.
+	if len(probation) > 0 && (len(candidates) == 0 || c.ticks%probeTicks == 0) {
+		candidates = probation
 	}
 	if len(candidates) == 0 {
 		c.rejections.Inc()
-		return nil, ErrClusterFull
+		if swappingOnly && len(c.nodes) > 0 {
+			return nil, ErrClusterFull
+		}
+		return nil, ErrNoHealthyNode
 	}
 	// Every policy scans from a rotating offset so exact ties spread
 	// across the fleet instead of always resolving to the first node
@@ -189,10 +348,28 @@ func (c *Cluster) pick() (*Node, error) {
 			}
 		}
 	}
-	best.inflight.Add(1)
-	best.inflightG.Add(1)
-	c.placements.Inc()
 	return best, nil
+}
+
+// recordFailure notes a transient failure on a node; enough of them in
+// a row demote the node to probation.
+func (c *Cluster) recordFailure(n *Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n.consecutive++
+	if n.consecutive >= c.failover.ProbationThreshold && n.Health() == Healthy {
+		n.setHealth(Probation)
+	}
+}
+
+// recordSuccess clears a node's failure streak and lifts probation.
+func (c *Cluster) recordSuccess(n *Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n.consecutive = 0
+	if n.Health() == Probation {
+		n.setHealth(Healthy)
+	}
 }
 
 // release returns a node's reserved in-flight slot.
@@ -202,21 +379,43 @@ func (c *Cluster) release(n *Node) {
 }
 
 // Invoke routes one invocation to a node and runs it there, returning
-// the invocation and the chosen node. The in-flight slot pick reserved
-// is held for the duration of the invocation.
+// the invocation and the node that served it. The in-flight slot pick
+// reserved is held for the duration of the invocation. When failover
+// is enabled (SetFailover) a transiently failed invocation is re-placed
+// on a node that has not yet failed this request, up to MaxFailovers
+// extra placements; permanent errors (unknown function, bad params)
+// never fail over — they would fail identically everywhere.
 func (c *Cluster) Invoke(name string, params lang.Value, opts platform.InvokeOptions) (*platform.Invocation, *Node, error) {
-	node, err := c.pick()
-	if err != nil {
-		return nil, nil, err
+	c.mu.Lock()
+	maxFailovers := c.failover.MaxFailovers
+	c.mu.Unlock()
+	var exclude map[*Node]bool
+	for attempt := 0; ; attempt++ {
+		node, err := c.pick(exclude)
+		if err != nil {
+			return nil, nil, err
+		}
+		inv, err := node.Platform.Invoke(name, params, opts)
+		c.release(node)
+		if err == nil {
+			c.recordSuccess(node)
+			node.invocations.Add(1)
+			node.invokeCnt.Inc()
+			return inv, node, nil
+		}
+		if !faults.IsTransient(err) {
+			return inv, node, fmt.Errorf("cluster: %s: %w", node.Name, err)
+		}
+		c.recordFailure(node)
+		if attempt >= maxFailovers {
+			return inv, node, fmt.Errorf("cluster: %s: %w", node.Name, err)
+		}
+		c.failovers.Inc()
+		if exclude == nil {
+			exclude = make(map[*Node]bool, len(c.nodes))
+		}
+		exclude[node] = true
 	}
-	defer c.release(node)
-	inv, err := node.Platform.Invoke(name, params, opts)
-	if err != nil {
-		return inv, node, fmt.Errorf("cluster: %s: %w", node.Name, err)
-	}
-	node.invocations.Add(1)
-	node.invokeCnt.Inc()
-	return inv, node, nil
 }
 
 // NodeStats is a point-in-time view of one node.
@@ -224,6 +423,7 @@ type NodeStats struct {
 	Name        string
 	MemUsed     uint64
 	Swapping    bool
+	Health      Health
 	MicroVMs    int
 	Invocations int64
 }
@@ -236,6 +436,7 @@ func (c *Cluster) Stats() []NodeStats {
 			Name:        n.Name,
 			MemUsed:     n.Env.Mem.Used(),
 			Swapping:    n.Env.Mem.Swapping(),
+			Health:      n.Health(),
 			MicroVMs:    n.Env.HV.VMCount(),
 			Invocations: n.Invocations(),
 		})

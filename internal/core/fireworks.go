@@ -18,18 +18,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/annotate"
+	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/lifecycle"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/msgbus"
 	"repro/internal/platform"
 	"repro/internal/runtime"
 	"repro/internal/sandbox"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 	"repro/internal/vmm"
@@ -65,6 +69,14 @@ type Options struct {
 	// PoolCapacity bounds pooled VMs per function (zero = unbounded).
 	// Only meaningful with WarmPool.
 	PoolCapacity int
+	// Retry guards the invocation pipeline's fallible stages (remote
+	// fetch, parameter produce/consume, snapshot restore, install boot)
+	// against transient faults. The zero value keeps the paper's
+	// fail-fast behavior: one attempt, no backoff. When Permanent is
+	// left nil, only errors faults.IsTransient recognizes are retried —
+	// real failures (unknown function, image gone, store wedged) still
+	// fail immediately.
+	Retry faults.RetryPolicy
 }
 
 // Framework is the Fireworks serverless platform.
@@ -77,6 +89,13 @@ type Framework struct {
 	// warmResumes counts invocations served by a pooled VM resume
 	// instead of a snapshot restore.
 	warmResumes *metrics.Counter
+	// retrier guards fallible pipeline stages per Options.Retry; nil
+	// when retries are disabled (every stage runs exactly once).
+	retrier *faults.Retrier
+	// bootRetrier guards the install-time kernel boot: same policy but
+	// no per-attempt deadline or budget — a healthy boot costs seconds,
+	// far above the invoke path's deadline.
+	bootRetrier *faults.Retrier
 
 	mu        sync.Mutex
 	fns       map[string]*installed
@@ -129,6 +148,17 @@ func New(env *platform.Env, opts Options) *Framework {
 	})
 	f.pool.Instrument(env.Metrics, "fireworks")
 	f.warmResumes = env.Metrics.Counter("fireworks_warm_resume_total")
+	if opts.Retry.MaxAttempts > 1 {
+		pol := opts.Retry
+		if pol.Permanent == nil {
+			pol.Permanent = func(err error) bool { return !faults.IsTransient(err) }
+		}
+		f.retrier = faults.NewRetrier(pol, env.Metrics)
+		bootPol := pol
+		bootPol.AttemptTimeout = 0
+		bootPol.Budget = 0
+		f.bootRetrier = faults.NewRetrier(bootPol, env.Metrics)
+	}
 	return f
 }
 
@@ -153,7 +183,7 @@ func (f *Framework) Install(fn platform.Function) (*platform.InstallReport, erro
 	if err != nil {
 		return nil, err
 	}
-	if err := vm.BootKernel(clock); err != nil {
+	if err := f.bootRetrier.Do(clock, func() error { return vm.BootKernel(clock) }); err != nil {
 		return nil, err
 	}
 	rt := runtime.New(fn.Lang, clock)
@@ -248,7 +278,7 @@ func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.R
 		return err
 	}
 	if err := f.env.Snaps.Put(inst.fn.Name, snap); err != nil {
-		return err
+		return f.classifyPutError(inst.fn.Name, err)
 	}
 	// With remote storage configured, the install also uploads the
 	// image, so later local evictions cost a network fetch instead of a
@@ -259,6 +289,20 @@ func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.R
 	inst.template = template
 	inst.report.SnapshotBytes = snap.TotalBytes()
 	return nil
+}
+
+// classifyPutError distinguishes the two ways a snapshot store Put
+// fails: wedged (every resident image is pinned by in-flight
+// invocations — backpressure, counted separately) versus plain
+// capacity (image larger than the budget). Both keep the original
+// error in the chain so errors.Is(err, snapshot.ErrAllPinned) still
+// identifies the wedged case.
+func (f *Framework) classifyPutError(name string, err error) error {
+	if errors.Is(err, snapshot.ErrAllPinned) {
+		f.env.Metrics.Counter("fireworks_store_wedged_total").Inc()
+		return fmt.Errorf("fireworks: %q: snapshot store wedged (every resident image pinned): %w", name, err)
+	}
+	return fmt.Errorf("fireworks: %q: snapshot store rejected image: %w", name, err)
 }
 
 // invokeState threads one invocation's accumulating state through the
@@ -351,12 +395,16 @@ func (f *Framework) stageSnapshot(st *invokeState, name string, inv *platform.In
 		// Local eviction: pull the image from remote storage (charged
 		// to this invocation's start-up) and repopulate the cache.
 		fetchMark := inv.Clock.Now()
-		snap, err = f.env.RemoteSnaps.Fetch(name, inv.Clock)
+		err = f.retrier.Do(inv.Clock, func() error {
+			var ferr error
+			snap, ferr = f.env.RemoteSnaps.Fetch(name, inv.Clock)
+			return ferr
+		})
 		if err == nil {
 			f.env.Metrics.Counter("fireworks_remote_fetch_total").Inc()
 			inv.Breakdown.Add(trace.PhaseStartup, "snapshot-remote-fetch", inv.Clock.Since(fetchMark))
 			if perr := f.env.Snaps.Put(name, snap); perr != nil {
-				return perr
+				return f.classifyPutError(name, perr)
 			}
 		}
 	}
@@ -402,7 +450,10 @@ func (f *Framework) stageTopic(st *invokeState, name string, params lang.Value, 
 	}
 	// Stamp the record with this invocation's clock position so the
 	// stamped consume after restore measures queue dwell (§3.6).
-	if _, _, err := f.env.Bus.ProduceAt(st.topic, st.fcID, paramJSON, inv.Clock.Now()); err != nil {
+	if err := f.retrier.Do(inv.Clock, func() error {
+		_, _, perr := f.env.Bus.ProduceAt(st.topic, st.fcID, paramJSON, inv.Clock.Now())
+		return perr
+	}); err != nil {
 		return err
 	}
 	inv.ChargeOther("param-queue", f.profile.NetOpBase+platform.PerKB(f.profile, len(paramJSON)))
@@ -449,7 +500,23 @@ func (f *Framework) stageRestore(st *invokeState, name string, inv *platform.Inv
 	}
 	inv.Breakdown.BeginSpan("startup", trace.PhaseStartup, st.startupMark)
 	inv.Breakdown.BeginSpan("vm-restore", trace.PhaseStartup, st.startupMark)
-	vm, err := f.env.HV.Restore(st.snap, vmm.RestoreOptions{REAPPrefetch: f.opts.REAPPrefetch}, inv.Clock)
+	// A restore that exceeds the per-attempt deadline (a latency-spike
+	// fault) leaves a running clone behind; the discard hook stops it
+	// before the retry restores a fresh one.
+	var vm *vmm.MicroVM
+	err := f.retrier.DoWithDiscard(inv.Clock, func() error {
+		restored, rerr := f.env.HV.Restore(st.snap, vmm.RestoreOptions{REAPPrefetch: f.opts.REAPPrefetch}, inv.Clock)
+		if rerr != nil {
+			return rerr
+		}
+		vm = restored
+		return nil
+	}, func() {
+		if vm != nil {
+			_ = vm.Stop()
+			vm = nil
+		}
+	})
 	inv.Breakdown.EndSpan(inv.Clock.Now())
 	if err != nil {
 		inv.Breakdown.EndSpan(inv.Clock.Now())
@@ -541,7 +608,15 @@ func (f *Framework) invokeBridge(st *invokeState, inv *platform.Invocation) *fir
 			if !ok {
 				return nil, fmt.Errorf("fireworks: MMDS has no topic")
 			}
-			msg, err := f.env.Bus.ConsumeLatestAt(topicName, inv.Clock.Now())
+			var msg msgbus.Message
+			err := f.retrier.Do(inv.Clock, func() error {
+				m, cerr := f.env.Bus.ConsumeLatestAt(topicName, inv.Clock.Now())
+				if cerr != nil {
+					return cerr
+				}
+				msg = m
+				return nil
+			})
 			if err != nil {
 				return nil, err
 			}

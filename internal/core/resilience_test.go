@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/snapshot"
+	"repro/internal/workloads"
+)
+
+// faultyEnv builds an Env with a fault plane armed (no profiles yet —
+// tests script faults explicitly) and a Framework with retries on.
+func faultyEnv(t *testing.T, retry faults.RetryPolicy) (*platform.Env, *core.Framework, *faults.Plane) {
+	t.Helper()
+	plane := faults.NewPlane(1)
+	env := platform.NewEnv(platform.EnvConfig{
+		RemoteSnapshotStorage: true,
+		Faults:                plane,
+	})
+	return env, core.New(env, core.Options{Retry: retry}), plane
+}
+
+func TestRetryMasksInjectedRestoreFault(t *testing.T) {
+	env, fw, plane := faultyEnv(t, faults.DefaultRetryPolicy())
+	w := workloads.Fact(runtime.LangNode)
+	if _, err := fw.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	// The next two restore attempts fail; the third succeeds.
+	plane.Enqueue(faults.SiteVMMRestore, faults.KindError, faults.KindError)
+	inv, err := fw.Invoke(w.Name, platform.MustParams(map[string]any{"n": 10, "rounds": 1}), platform.InvokeOptions{})
+	if err != nil {
+		t.Fatalf("retries did not mask injected restore faults: %v", err)
+	}
+	if inv.Result == nil {
+		t.Fatal("no result")
+	}
+	if got := env.Metrics.Counter("retries_total").Value(); got < 2 {
+		t.Fatalf("retries_total = %d, want >= 2", got)
+	}
+	if env.HV.VMCount() != 0 {
+		t.Fatalf("%d VMs alive after retried invoke", env.HV.VMCount())
+	}
+}
+
+func TestNoRetriesFailsFastOnInjectedFault(t *testing.T) {
+	_, fw, plane := faultyEnv(t, faults.RetryPolicy{})
+	w := workloads.Fact(runtime.LangNode)
+	if _, err := fw.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	plane.Enqueue(faults.SiteVMMRestore, faults.KindError)
+	_, err := fw.Invoke(w.Name, platform.MustParams(map[string]any{"n": 10, "rounds": 1}), platform.InvokeOptions{})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault surfaced", err)
+	}
+}
+
+func TestPermanentErrorNotRetriedByPipeline(t *testing.T) {
+	env, fw, _ := faultyEnv(t, faults.DefaultRetryPolicy())
+	// No function installed: a permanent "no function" error must come
+	// back without consuming any retry budget.
+	_, err := fw.Invoke("ghost", platform.MustParams(nil), platform.InvokeOptions{})
+	if err == nil {
+		t.Fatal("invoke of uninstalled function succeeded")
+	}
+	if got := env.Metrics.Counter("retries_total").Value(); got != 0 {
+		t.Fatalf("retries_total = %d for a permanent error", got)
+	}
+}
+
+func TestRetryMasksInjectedRemoteFetchFault(t *testing.T) {
+	env, fw, plane := faultyEnv(t, faults.DefaultRetryPolicy())
+	w := workloads.Fact(runtime.LangNode)
+	if _, err := fw.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	// Evict the local image so the next invoke must hit remote storage,
+	// then poison the first fetch attempt.
+	env.Snaps.Remove(w.Name)
+	plane.Enqueue(faults.SiteRemoteFetch, faults.KindCorruption)
+	if _, err := fw.Invoke(w.Name, platform.MustParams(map[string]any{"n": 10, "rounds": 1}), platform.InvokeOptions{}); err != nil {
+		t.Fatalf("retry did not mask corrupted fetch: %v", err)
+	}
+	if got := env.Metrics.Counter("snapshot_remote_fetches_total").Value(); got < 1 {
+		t.Fatalf("snapshot_remote_fetches_total = %d, want >= 1", got)
+	}
+	if got := env.Metrics.Counter("fireworks_remote_fetch_total").Value(); got != 1 {
+		t.Fatalf("fireworks_remote_fetch_total = %d, want 1", got)
+	}
+}
+
+func TestStoreWedgedSurfacedDistinctly(t *testing.T) {
+	plane := faults.NewPlane(1)
+	// A budget that fits exactly one image wedges as soon as that image
+	// is pinned and a second function needs the space.
+	env := platform.NewEnv(platform.EnvConfig{
+		SnapshotDiskBudget:    400 << 20,
+		RemoteSnapshotStorage: true,
+		Faults:                plane,
+	})
+	fw := core.New(env, core.Options{})
+	w := workloads.Fact(runtime.LangNode)
+	if _, err := fw.Install(w.Function); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Snaps.Pin(w.Name); err != nil {
+		t.Fatal(err)
+	}
+	defer env.Snaps.Unpin(w.Name)
+	w2 := workloads.NetLatency(runtime.LangNode)
+	_, err := fw.Install(w2.Function)
+	if !errors.Is(err, snapshot.ErrAllPinned) {
+		t.Fatalf("err = %v, want ErrAllPinned in chain", err)
+	}
+	if got := env.Metrics.Counter("fireworks_store_wedged_total").Value(); got != 1 {
+		t.Fatalf("fireworks_store_wedged_total = %d, want 1", got)
+	}
+}

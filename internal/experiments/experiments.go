@@ -69,6 +69,7 @@ func All() []Experiment {
 		{"snapbudget", "Ablation: bounded snapshot store with LRU replacement + remote storage (§6)", RunAblationSnapBudget},
 		{"deopt", "Ablation: de-optimization under mismatched argument types (§6)", RunDeopt},
 		{"scale", "Extension: cluster-wide consolidation capacity scaling", RunScale},
+		{"chaos", "Extension: deterministic fault injection with retry + failover policies", RunChaos},
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/metrics"
 )
 
@@ -49,6 +50,18 @@ type Broker struct {
 	produced *metrics.Counter
 	consumed *metrics.Counter
 	dwell    *metrics.Histogram
+
+	// faults, when attached, injects failures at the msgbus.produce and
+	// msgbus.consume sites (nil-safe). The broker has no invocation
+	// clock, so only error-class faults make sense here.
+	faults *faults.Plane
+}
+
+// AttachFaults arms the broker's fault-injection sites.
+func (b *Broker) AttachFaults(p *faults.Plane) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faults = p
 }
 
 // Instrument attaches the broker to a metrics registry: queue depth
@@ -178,6 +191,9 @@ func (b *Broker) ProduceAt(topicName, key string, value []byte, at time.Duration
 }
 
 func (b *Broker) produce(topicName, key string, value []byte, at time.Duration, stamped bool) (partitionID int, offset int64, err error) {
+	if err := b.faults.Inject(faults.SiteBusProduce, nil); err != nil {
+		return 0, 0, fmt.Errorf("msgbus: produce to %q: %w", topicName, err)
+	}
 	t, err := b.topic(topicName)
 	if err != nil {
 		return 0, 0, err
@@ -229,6 +245,9 @@ func (b *Broker) ConsumeAt(topicName string, partitionID int, offset int64) (Mes
 // semantics of `kafkacat -C -o -1 -c 1`. It returns ErrEmpty when the
 // partition has no records.
 func (b *Broker) ConsumeLatest(topicName string) (Message, error) {
+	if err := b.faults.Inject(faults.SiteBusConsume, nil); err != nil {
+		return Message{}, fmt.Errorf("msgbus: consume from %q: %w", topicName, err)
+	}
 	t, err := b.topic(topicName)
 	if err != nil {
 		return Message{}, err

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/faults"
 )
 
 // Errors returned by the network simulator.
@@ -69,6 +71,17 @@ type Router struct {
 	external   map[Addr]*Namespace // external IP -> owning namespace
 	nextIP     int
 	poolSize   int
+
+	// faults, when attached, injects failures at the netsim.transfer
+	// site on every Send (nil-safe).
+	faults *faults.Plane
+}
+
+// AttachFaults arms the router's fault-injection site.
+func (r *Router) AttachFaults(p *faults.Plane) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = p
 }
 
 // NewRouter creates a router with an external IP pool of poolSize
@@ -151,6 +164,9 @@ func (r *Router) AllocExternal(ns *Namespace, guest Addr) (Addr, error) {
 // namespace's NAT translates the destination to the guest IP and the
 // matching tap delivers it. This is the host→guest path of Figure 5.
 func (r *Router) Send(pkt Packet) error {
+	if err := r.faults.Inject(faults.SiteNetTransfer, nil); err != nil {
+		return fmt.Errorf("netsim: send to %s: %w", pkt.Dst, err)
+	}
 	r.mu.Lock()
 	ns, ok := r.external[pkt.Dst]
 	if !ok {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/couchdb"
+	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -191,6 +192,9 @@ type Env struct {
 	// component of this host (and, in a cluster, can be shared across
 	// hosts for a fleet-wide view). Always non-nil from NewEnv.
 	Metrics *metrics.Registry
+	// Faults is the fault-injection plane armed on this host's
+	// components (nil when the host runs fault-free).
+	Faults *faults.Plane
 }
 
 // EnvConfig sizes an Env.
@@ -212,6 +216,12 @@ type EnvConfig struct {
 	// CoW faults, and queue dwell aggregate fleet-wide. Nil creates a
 	// private registry for the host.
 	Metrics *metrics.Registry
+	// Faults, when non-nil, arms deterministic fault injection on the
+	// host's hypervisor, message bus, network router, and remote
+	// snapshot store (see internal/faults). A cluster passes one shared
+	// plane to every node so the fleet-wide fault schedule is a single
+	// seeded sequence.
+	Faults *faults.Plane
 }
 
 // NewEnv creates a host environment.
@@ -246,6 +256,17 @@ func NewEnv(cfg EnvConfig) *Env {
 	env.Snaps.Instrument(reg)
 	if cfg.RemoteSnapshotStorage {
 		env.RemoteSnaps = snapshot.NewRemote()
+		env.RemoteSnaps.Instrument(reg)
+	}
+	if cfg.Faults != nil {
+		env.Faults = cfg.Faults
+		cfg.Faults.Instrument(reg)
+		env.HV.AttachFaults(cfg.Faults)
+		env.Bus.AttachFaults(cfg.Faults)
+		env.Router.AttachFaults(cfg.Faults)
+		if env.RemoteSnaps != nil {
+			env.RemoteSnaps.AttachFaults(cfg.Faults)
+		}
 	}
 	return env
 }

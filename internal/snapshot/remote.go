@@ -5,6 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/vclock"
 	"repro/internal/vmm"
 )
@@ -24,6 +26,47 @@ type Remote struct {
 	objects map[string]*vmm.Snapshot
 	fetches int
 	uploads int
+
+	// Observability (nil-safe; see Instrument).
+	fetchCtr  *metrics.Counter
+	uploadCtr *metrics.Counter
+	xferBytes *metrics.Histogram
+
+	// injector, when attached, injects failures at the
+	// snapshot.remote.fetch site (nil-safe).
+	injector *faults.Plane
+}
+
+// transferBuckets spans the image sizes the platform moves: a few MiB
+// of runtime state up to multi-hundred-MiB post-JIT images.
+func transferBuckets() []float64 {
+	return []float64{
+		1 << 20,   // 1 MiB
+		16 << 20,  // 16 MiB
+		64 << 20,  // 64 MiB
+		128 << 20, // 128 MiB
+		256 << 20, // 256 MiB
+		512 << 20, // 512 MiB
+		1 << 30,   // 1 GiB
+	}
+}
+
+// Instrument attaches the remote store to a metrics registry:
+// fetch/upload counters and a transfer-size histogram (both directions
+// observe the image size in bytes).
+func (r *Remote) Instrument(reg *metrics.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fetchCtr = reg.Counter("snapshot_remote_fetches_total")
+	r.uploadCtr = reg.Counter("snapshot_remote_uploads_total")
+	r.xferBytes = reg.HistogramWith("snapshot_remote_transfer_bytes", "bytes", transferBuckets())
+}
+
+// AttachFaults arms the remote store's fault-injection site.
+func (r *Remote) AttachFaults(p *faults.Plane) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.injector = p
 }
 
 // Remote transfer cost constants (10 Gbps effective ≈ 1.25 GB/s).
@@ -47,20 +90,32 @@ func (r *Remote) Upload(name string, snap *vmm.Snapshot, clock *vclock.Clock) {
 	defer r.mu.Unlock()
 	r.objects[name] = snap
 	r.uploads++
+	r.uploadCtr.Inc()
+	r.xferBytes.Observe(float64(snap.TotalBytes()))
 }
 
 // Fetch retrieves an image, charging transfer time to clock.
 func (r *Remote) Fetch(name string, clock *vclock.Clock) (*vmm.Snapshot, error) {
 	r.mu.Lock()
+	injector := r.injector
+	r.mu.Unlock()
+	if err := injector.Inject(faults.SiteRemoteFetch, clock); err != nil {
+		return nil, fmt.Errorf("snapshot: remote fetch of %q: %w", name, err)
+	}
+	r.mu.Lock()
 	snap, ok := r.objects[name]
 	if ok {
 		r.fetches++
+		r.fetchCtr.Inc()
 	}
 	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (not in remote storage)", ErrNotFound, name)
 	}
 	clock.Advance(CostRemoteFetchBase + transferCost(snap.TotalBytes()))
+	r.mu.Lock()
+	r.xferBytes.Observe(float64(snap.TotalBytes()))
+	r.mu.Unlock()
 	return snap, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/fs"
 	"repro/internal/mem"
 	"repro/internal/netsim"
@@ -160,6 +161,9 @@ type RestoreOptions struct {
 // (fixed + working-set page faults) is charged to clock. The caller is
 // responsible for network setup and for reviving the guest state.
 func (h *Hypervisor) Restore(snap *Snapshot, opts RestoreOptions, clock *vclock.Clock) (*MicroVM, error) {
+	if err := h.faults.Inject(faults.SiteVMMRestore, clock); err != nil {
+		return nil, fmt.Errorf("vmm: restore of %s: %w", snap.ID, err)
+	}
 	h.mu.Lock()
 	h.nextID++
 	id := fmt.Sprintf("fw-%04d", h.nextID)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/fs"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -69,6 +70,10 @@ type Hypervisor struct {
 	vms    map[string]*MicroVM
 	nextID int
 
+	// faults, when attached, injects failures at the vmm.boot and
+	// vmm.restore sites (nil-safe).
+	faults *faults.Plane
+
 	// Observability (nil-safe; see Instrument).
 	liveVMs     *metrics.Gauge
 	boots       *metrics.Counter
@@ -100,6 +105,14 @@ func (h *Hypervisor) Instrument(reg *metrics.Registry) {
 	h.snapshots = reg.Counter("vmm_snapshots_taken_total")
 	h.snapshotDur = reg.Histogram("vmm_snapshot_capture_duration")
 	h.warmResumes = reg.Counter("vmm_warm_resumes_total")
+}
+
+// AttachFaults connects the hypervisor to a fault-injection plane:
+// kernel boots and snapshot restores consult it before doing work.
+func (h *Hypervisor) AttachFaults(p *faults.Plane) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.faults = p
 }
 
 // MicroVM is one simulated Firecracker microVM.
@@ -177,6 +190,9 @@ func (h *Hypervisor) CreateVM(cfg Config, clock *vclock.Clock) (*MicroVM, error)
 func (v *MicroVM) BootKernel(clock *vclock.Clock) error {
 	if v.state != StateCreated {
 		return fmt.Errorf("%w: boot in %s", ErrBadState, v.state)
+	}
+	if err := v.hv.faults.Inject(faults.SiteVMMBoot, clock); err != nil {
+		return fmt.Errorf("vmm: boot of %s: %w", v.ID, err)
 	}
 	clock.Advance(CostKernelBoot)
 	v.hv.boots.Inc()
