@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race
+.PHONY: check vet build test race trace-demo
 
 # check is the tier-1 gate: everything must pass before a merge.
 check: vet build test race
@@ -16,7 +16,15 @@ test:
 
 # The concurrency-bearing subsystems — the cluster scheduler, the
 # metrics registry, the shared lifecycle pool, the Fireworks invoke
-# pipeline, and the fault-injection plane — additionally run under the
-# race detector.
+# pipeline, the fault-injection plane, and the event journal —
+# additionally run under the race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/...
+	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/... ./internal/events/...
+
+# trace-demo runs a faulted fwsim demo, dumps its event journal as
+# Chrome trace-event JSON, and sanity-checks that the dump parses and
+# carries events (cmd/tracecheck). The artifact is Perfetto-loadable.
+trace-demo:
+	$(GO) run ./cmd/fwsim -metrics text -nodes 3 -invocations 12 -faults seed=7,rate=0.05 -trace-dump trace-demo.json > /dev/null
+	$(GO) run ./cmd/tracecheck trace-demo.json
+	rm -f trace-demo.json

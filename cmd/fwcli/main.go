@@ -9,6 +9,7 @@
 //	fwcli -file fn.fl -platform openwhisk -mode cold -repeat 3
 //	fwcli -builtin faas-fact-python -platform firecracker -mode cold
 //	fwcli -builtin faas-fact-python -repeat 5 -metrics text
+//	fwcli -builtin faas-fact-python -trace-dump trace.json -profile
 //	fwcli -list-builtins
 package main
 
@@ -16,8 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
 	"repro/internal/workloads"
@@ -35,6 +38,8 @@ func main() {
 	listBuiltins := flag.Bool("list-builtins", false, "list built-in workloads and exit")
 	verbose := flag.Bool("v", false, "print the per-event accounting log")
 	metricsFmt := flag.String("metrics", "", `dump the host metrics snapshot after the run ("text" or "json")`)
+	traceDump := flag.String("trace-dump", "", `write the run's event journal to this file (Chrome trace-event JSON for *.json, NDJSON otherwise)`)
+	profile := flag.Bool("profile", false, "fold the run's event journal into virtual-time flame-stack lines on stderr")
 	flag.Parse()
 
 	if *listBuiltins {
@@ -97,6 +102,35 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *traceDump != "" {
+		if err := dumpJournal(*traceDump, env.Events.Events()); err != nil {
+			fatal(err)
+		}
+	}
+	if *profile {
+		if err := events.WriteProfile(os.Stderr, env.Events.Events()); err != nil {
+			fatal(fmt.Errorf("-profile: %w", err))
+		}
+	}
+}
+
+// dumpJournal writes the host's event journal to path: Chrome
+// trace-event JSON when the name ends in .json (load it in Perfetto),
+// NDJSON otherwise.
+func dumpJournal(path string, evs []events.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-trace-dump: %w", err)
+	}
+	format := "ndjson"
+	if strings.HasSuffix(path, ".json") {
+		format = "chrome"
+	}
+	if err := events.WriteFormat(f, evs, format); err != nil {
+		f.Close()
+		return fmt.Errorf("-trace-dump: %w", err)
+	}
+	return f.Close()
 }
 
 func resolveFunction(file, builtin, name, lang string) (platform.Function, error) {

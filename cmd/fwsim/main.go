@@ -1,11 +1,12 @@
-// Command fwsim runs a Fireworks platform behind a real HTTP gateway —
+// Command fwsim runs a Fireworks cluster behind a real HTTP gateway —
 // the serverless frontend of Figure 1 over the simulated backend. It
-// lets you drive installs and invocations with curl and watch host
-// state (live microVMs, memory, snapshot store).
+// lets you drive installs and invocations with curl and watch fleet
+// state (live microVMs, memory, snapshot store, node health) and the
+// causal event journal every request records into.
 //
 //	fwsim -addr :8080
 //
-//	# install a function
+//	# install a function (deployed on every node)
 //	curl -s localhost:8080/install -d '{
 //	  "name": "hello",
 //	  "lang": "nodejs",
@@ -13,21 +14,32 @@
 //	  "default_params": {"who": "world"}
 //	}'
 //
-//	# invoke it
+//	# invoke it; the response carries the node that served it and the
+//	# trace id of the request's event trail
 //	curl -s localhost:8080/invoke/hello -d '{"who": "fireworks"}'
 //
 //	# inspect the platform
 //	curl -s localhost:8080/functions
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metrics
 //	curl -s 'localhost:8080/metrics?format=json'
+//
+//	# pull one request's trace, or the whole journal
+//	curl -s localhost:8080/trace/1
+//	curl -s 'localhost:8080/events?format=chrome' > trace.json  # open in Perfetto
+//	curl -s 'localhost:8080/events?format=ndjson&limit=100'
 //
 // With -metrics the gateway is skipped entirely: fwsim drives a demo
 // workload across a simulated cluster and dumps the fleet-wide metrics
 // snapshot (restore latencies, CoW faults, queue dwell, per-node
-// placement) to stdout, then exits.
+// placement) to stdout, then exits. -trace-dump writes the demo's
+// event journal to a file (Chrome trace-event JSON when the name ends
+// in .json, NDJSON otherwise) and -profile folds it into virtual-time
+// flame-stack lines on stderr.
 //
 //	fwsim -metrics text -nodes 3 -invocations 12
+//	fwsim -metrics text -trace-dump trace.json -profile
 //
 // With -faults the deterministic fault-injection plane is armed
 // (internal/faults): the seed pins the fault schedule, the rate is the
@@ -51,18 +63,20 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
 	"repro/internal/workloads"
 )
 
 type server struct {
-	env *platform.Env
-	fw  *core.Framework
+	c *cluster.Cluster
 
 	mu       sync.Mutex
 	installs map[string]*platform.InstallReport
@@ -76,12 +90,34 @@ type installRequest struct {
 	DefaultParams map[string]any `json:"default_params"`
 }
 
+// newServer builds a gateway over a fresh cluster. With chaos non-nil
+// the fault plane arms immediately (the gateway is long-lived) and the
+// platform runs with its default retry and failover policies.
+func newServer(nodes int, chaos *faultsConfig) *server {
+	envCfg := platform.EnvConfig{}
+	opts := core.Options{}
+	if chaos != nil {
+		envCfg.Faults = faults.DefaultPlan(chaos.seed, chaos.rate)
+		opts.Retry = faults.DefaultRetryPolicy()
+	}
+	c := cluster.New(nodes, cluster.LeastInflight, envCfg,
+		func(env *platform.Env) platform.Platform {
+			return core.New(env, opts)
+		})
+	if chaos != nil {
+		c.SetFailover(cluster.FailoverPolicy{MaxFailovers: 2})
+	}
+	return &server{c: c, installs: make(map[string]*platform.InstallReport)}
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	metricsDump := flag.String("metrics", "", `dump mode: run a cluster demo and write the metrics snapshot to stdout ("text" or "json"), then exit`)
-	nodes := flag.Int("nodes", 3, "cluster size for the -metrics demo")
+	nodes := flag.Int("nodes", 3, "cluster size (gateway and -metrics demo)")
 	invocations := flag.Int("invocations", 12, "invocations to run in the -metrics demo")
 	faultsSpec := flag.String("faults", "", `arm deterministic fault injection: "seed=N,rate=P" (rate is per-operation probability, e.g. 0.01)`)
+	traceDump := flag.String("trace-dump", "", `in -metrics demo mode, write the event journal to this file (Chrome trace-event JSON for *.json, NDJSON otherwise)`)
+	profile := flag.Bool("profile", false, "in -metrics demo mode, fold the event journal into virtual-time flame-stack lines on stderr")
 	flag.Parse()
 
 	chaos, err := parseFaultsSpec(*faultsSpec)
@@ -90,28 +126,27 @@ func main() {
 	}
 
 	if *metricsDump != "" {
-		if err := runMetricsDemo(os.Stdout, *metricsDump, *nodes, *invocations, chaos); err != nil {
+		cfg := demoConfig{
+			format:      *metricsDump,
+			nodes:       *nodes,
+			invocations: *invocations,
+			chaos:       chaos,
+			traceDump:   *traceDump,
+		}
+		if *profile {
+			cfg.profile = os.Stderr
+		}
+		if err := runMetricsDemo(os.Stdout, cfg); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	envCfg := platform.EnvConfig{}
-	opts := core.Options{}
 	if chaos != nil {
-		// The gateway is long-lived, so the plane arms immediately and
-		// the platform runs with retries on.
-		envCfg.Faults = faults.DefaultPlan(chaos.seed, chaos.rate)
-		opts.Retry = faults.DefaultRetryPolicy()
 		log.Printf("fault injection armed: seed=%d rate=%g", chaos.seed, chaos.rate)
 	}
-	s := &server{
-		env:      platform.NewEnv(envCfg),
-		installs: make(map[string]*platform.InstallReport),
-	}
-	s.fw = core.New(s.env, opts)
-
-	log.Printf("fwsim gateway on http://%s", *addr)
+	s := newServer(*nodes, chaos)
+	log.Printf("fwsim gateway on http://%s (%d nodes)", *addr, *nodes)
 	log.Fatal(http.ListenAndServe(*addr, s.mux()))
 }
 
@@ -163,9 +198,26 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /invoke/{name}", s.handleInvoke)
 	mux.HandleFunc("GET /functions", s.handleFunctions)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("DELETE /functions/{name}", s.handleRemove)
 	return mux
+}
+
+// demoConfig parameterizes the -metrics demo run.
+type demoConfig struct {
+	format      string
+	nodes       int
+	invocations int
+	chaos       *faultsConfig
+	// traceDump, when non-empty, is the file the demo's event journal
+	// is written to after the workload (chrome for *.json, else ndjson).
+	traceDump string
+	// profile, when non-nil, receives the journal folded into
+	// virtual-time flame-stack lines.
+	profile io.Writer
 }
 
 // runMetricsDemo drives a built-in workload across a Fireworks cluster
@@ -175,47 +227,75 @@ func (s *server) mux() *http.ServeMux {
 // non-nil the fault plane arms after the install (so the one-time
 // deploy cannot fail) and the demo runs with retry + failover on;
 // faulted invocations that still fail are counted, not fatal.
-func runMetricsDemo(w io.Writer, format string, nodes, invocations int, chaos *faultsConfig) error {
-	if nodes <= 0 || invocations <= 0 {
+func runMetricsDemo(w io.Writer, cfg demoConfig) error {
+	if cfg.nodes <= 0 || cfg.invocations <= 0 {
 		return fmt.Errorf("fwsim: -nodes and -invocations must be positive")
 	}
 	envCfg := platform.EnvConfig{}
 	opts := core.Options{}
 	var plane *faults.Plane
-	if chaos != nil {
-		plane = faults.NewPlane(chaos.seed)
+	if cfg.chaos != nil {
+		plane = faults.NewPlane(cfg.chaos.seed)
 		envCfg.Faults = plane
 		opts.Retry = faults.DefaultRetryPolicy()
 	}
-	c := cluster.New(nodes, cluster.LeastInflight, envCfg,
+	c := cluster.New(cfg.nodes, cluster.LeastInflight, envCfg,
 		func(env *platform.Env) platform.Platform {
 			return core.New(env, opts)
 		})
-	if chaos != nil {
+	if cfg.chaos != nil {
 		c.SetFailover(cluster.FailoverPolicy{MaxFailovers: 2})
 	}
 	wl := workloads.NetLatency(rt.LangNode)
 	if err := c.Install(wl.Function); err != nil {
 		return err
 	}
-	plane.ApplyDefaultPlan(chaosRate(chaos))
+	plane.ApplyDefaultPlan(chaosRate(cfg.chaos))
 	params := platform.MustParams(nil)
 	failed := 0
-	for i := 0; i < invocations; i++ {
+	for i := 0; i < cfg.invocations; i++ {
 		if _, _, err := c.Invoke(wl.Name, params, platform.InvokeOptions{}); err != nil {
-			if chaos == nil {
+			if cfg.chaos == nil {
 				return err
 			}
 			failed++
 		}
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "fwsim: %d/%d invocations failed despite retry+failover\n", failed, invocations)
+		fmt.Fprintf(os.Stderr, "fwsim: %d/%d invocations failed despite retry+failover\n", failed, cfg.invocations)
 	}
-	if err := c.Metrics().WriteFormat(w, format); err != nil {
+	if err := c.Metrics().WriteFormat(w, cfg.format); err != nil {
 		return fmt.Errorf("fwsim: %w", err)
 	}
+	if cfg.traceDump != "" {
+		if err := dumpJournal(cfg.traceDump, c.Journal().Events()); err != nil {
+			return err
+		}
+	}
+	if cfg.profile != nil {
+		if err := events.WriteProfile(cfg.profile, c.Journal().Events()); err != nil {
+			return fmt.Errorf("fwsim: -profile: %w", err)
+		}
+	}
 	return nil
+}
+
+// dumpJournal writes the journal to path: Chrome trace-event JSON when
+// the name ends in .json (load it in Perfetto), NDJSON otherwise.
+func dumpJournal(path string, evs []events.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("fwsim: -trace-dump: %w", err)
+	}
+	format := "ndjson"
+	if strings.HasSuffix(path, ".json") {
+		format = "chrome"
+	}
+	if err := events.WriteFormat(f, evs, format); err != nil {
+		f.Close()
+		return fmt.Errorf("fwsim: -trace-dump: %w", err)
+	}
+	return f.Close()
 }
 
 func chaosRate(chaos *faultsConfig) float64 {
@@ -247,7 +327,7 @@ func (s *server) handleInstall(w http.ResponseWriter, r *http.Request) {
 	if lang == "" {
 		lang = rt.LangNode
 	}
-	report, err := s.fw.Install(platform.Function{
+	report, err := s.c.InstallReported(platform.Function{
 		Name:          req.Name,
 		Source:        req.Source,
 		Lang:          lang,
@@ -284,11 +364,24 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("params: %w", err))
 		return
 	}
-	inv, err := s.fw.Invoke(name, params, platform.InvokeOptions{})
+	// Every request is one trace: the gateway span roots it, and the
+	// cluster/core layers nest under it all the way down to the exec.
+	sc := s.c.Journal().NewScope("gateway", "POST /invoke", 0,
+		events.A("function", name))
+	inv, node, err := s.c.Invoke(name, params, platform.InvokeOptions{Trace: sc})
+	var end time.Duration
+	if inv != nil {
+		end = inv.Clock.Now()
+	}
 	if err != nil {
-		writeError(w, http.StatusBadGateway, err)
+		sc.Close(end, events.A("error", err.Error()))
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error":    err.Error(),
+			"trace_id": uint64(sc.TraceID()),
+		})
 		return
 	}
+	sc.Close(end)
 	resultJSON, err := rt.EncodeJSON(inv.Result)
 	if err != nil {
 		resultJSON = []byte("null")
@@ -302,8 +395,10 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			"others":   inv.Breakdown.Others().String(),
 			"total":    inv.Breakdown.Total().String(),
 		},
-		"sandbox": inv.SandboxID,
-		"logs":    inv.Logs,
+		"sandbox":  inv.SandboxID,
+		"node":     node.Name,
+		"trace_id": uint64(sc.TraceID()),
+		"logs":     inv.Logs,
 	})
 }
 
@@ -330,17 +425,80 @@ func (s *server) handleFunctions(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var memUsed, memTotal, snapBytes uint64
+	var vms, namespaces int
+	swapping := false
+	perNode := make([]map[string]any, 0, len(s.c.Nodes()))
+	for _, n := range s.c.Nodes() {
+		memUsed += n.Env.Mem.Used()
+		memTotal += n.Env.Mem.Capacity()
+		snapBytes += n.Env.Snaps.UsedBytes()
+		vms += n.Env.HV.VMCount()
+		namespaces += n.Env.Router.NamespaceCount()
+		if n.Env.Mem.Swapping() {
+			swapping = true
+		}
+		perNode = append(perNode, map[string]any{
+			"name":        n.Name,
+			"health":      n.Health().String(),
+			"memory_used": n.Env.Mem.Used(),
+			"swapping":    n.Env.Mem.Swapping(),
+			"microvms":    n.Env.HV.VMCount(),
+			"invocations": n.Invocations(),
+		})
+	}
+	first := s.c.Nodes()[0]
 	writeJSON(w, http.StatusOK, map[string]any{
-		"host_memory_used":    s.env.Mem.Used(),
-		"host_memory_total":   s.env.Mem.Capacity(),
-		"swap_threshold":      s.env.Mem.SwapThreshold(),
-		"swapping":            s.env.Mem.Swapping(),
-		"live_microvms":       s.env.HV.VMCount(),
-		"network_namespaces":  s.env.Router.NamespaceCount(),
-		"snapshot_disk_bytes": s.env.Snaps.UsedBytes(),
-		"snapshots":           s.env.Snaps.Names(),
-		"databases":           s.env.Couch.Names(),
+		"host_memory_used":    memUsed,
+		"host_memory_total":   memTotal,
+		"swap_threshold":      first.Env.Mem.SwapThreshold(),
+		"swapping":            swapping,
+		"live_microvms":       vms,
+		"network_namespaces":  namespaces,
+		"snapshot_disk_bytes": snapBytes,
+		"snapshots":           first.Env.Snaps.Names(),
+		"databases":           first.Env.Couch.Names(),
+		"nodes":               perNode,
 	})
+}
+
+// healthzPayload folds a metrics snapshot's node_state gauges into the
+// /healthz response: per-node health plus an overall status, 503 only
+// when every node is down (the cluster can absorb anything less).
+func healthzPayload(snap metrics.Snapshot) (int, map[string]any) {
+	nodes := map[string]string{}
+	total, down := 0, 0
+	for _, g := range snap.Gauges {
+		name, ok := strings.CutPrefix(g.Name, `node_state{node="`)
+		if !ok {
+			continue
+		}
+		name, ok = strings.CutSuffix(name, `"}`)
+		if !ok {
+			continue
+		}
+		total++
+		h := cluster.Health(g.Value)
+		if h == cluster.Down {
+			down++
+		}
+		nodes[name] = h.String()
+	}
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case total > 0 && down == total:
+		status = "down"
+		code = http.StatusServiceUnavailable
+	case down > 0:
+		status = "degraded"
+	}
+	return code, map[string]any{"status": status, "nodes": nodes}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	code, payload := healthzPayload(s.c.Metrics().Snapshot())
+	writeJSON(w, code, payload)
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -353,12 +511,59 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		contentType = "application/json"
 	}
 	w.Header().Set("Content-Type", contentType)
-	_ = s.env.Metrics.WriteFormat(w, format)
+	_ = s.c.Metrics().WriteFormat(w, format)
+}
+
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("trace id: %w", err))
+		return
+	}
+	evs := s.c.Journal().Trace(events.TraceID(id))
+	if len(evs) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("trace %d: no events", id))
+		return
+	}
+	s.writeEvents(w, r, evs)
+}
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	evs := s.c.Journal().Events()
+	if limitStr := r.URL.Query().Get("limit"); limitStr != "" {
+		limit, err := strconv.Atoi(limitStr)
+		if err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("events: bad limit %q", limitStr))
+			return
+		}
+		evs = s.c.Journal().Tail(limit)
+	}
+	s.writeEvents(w, r, evs)
+}
+
+// writeEvents renders a slice of journal events per the request's
+// format parameter: ndjson (default) or chrome (Perfetto-loadable).
+func (s *server) writeEvents(w http.ResponseWriter, r *http.Request, evs []events.Event) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "ndjson"
+	}
+	contentType := "application/x-ndjson"
+	if format == "chrome" {
+		contentType = "application/json"
+	}
+	var buf strings.Builder
+	if err := events.WriteFormat(&buf, evs, format); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = io.WriteString(w, buf.String())
 }
 
 func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if err := s.fw.Remove(name); err != nil {
+	if err := s.c.Remove(name); err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}

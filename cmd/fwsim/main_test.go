@@ -1,24 +1,23 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/platform"
+	"repro/internal/metrics"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	s := &server{
-		env:      platform.NewEnv(platform.EnvConfig{}),
-		installs: make(map[string]*platform.InstallReport),
-	}
-	s.fw = core.New(s.env, core.Options{})
+	s := newServer(2, nil)
 	ts := httptest.NewServer(s.mux())
 	t.Cleanup(ts.Close)
 	return ts
@@ -36,6 +35,20 @@ func post(t *testing.T, url, body string) (int, map[string]any) {
 		t.Fatal(err)
 	}
 	return resp.StatusCode, out
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
 }
 
 const installBody = `{
@@ -66,6 +79,12 @@ func TestInstallAndInvokeOverHTTP(t *testing.T) {
 	if latency["start-up"] == "" || latency["total"] == "" {
 		t.Fatalf("latency missing: %v", latency)
 	}
+	if out["node"] == "" {
+		t.Fatalf("no serving node in response: %v", out)
+	}
+	if out["trace_id"].(float64) == 0 {
+		t.Fatalf("no trace id in response: %v", out)
+	}
 }
 
 func TestInstallErrorsOverHTTP(t *testing.T) {
@@ -89,39 +108,78 @@ func TestInvokeUnknownOverHTTP(t *testing.T) {
 	if status != http.StatusBadGateway {
 		t.Fatalf("status = %d: %v", status, out)
 	}
+	// Even a failed request gets a trace.
+	if out["trace_id"].(float64) == 0 {
+		t.Fatalf("failed invoke carries no trace id: %v", out)
+	}
 }
 
 func TestFunctionsAndStatsEndpoints(t *testing.T) {
 	ts := newTestServer(t)
 	post(t, ts.URL+"/install", installBody)
 
-	resp, err := http.Get(ts.URL + "/functions")
-	if err != nil {
-		t.Fatal(err)
+	status, body := get(t, ts.URL+"/functions")
+	if status != http.StatusOK {
+		t.Fatalf("functions status = %d", status)
 	}
 	var fns []map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&fns); err != nil {
+	if err := json.Unmarshal(body, &fns); err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 	if len(fns) != 1 || fns[0]["name"] != "hello" {
 		t.Fatalf("functions = %v", fns)
 	}
 
-	resp, err = http.Get(ts.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
+	_, body = get(t, ts.URL+"/stats")
 	var st map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 	if st["snapshot_disk_bytes"].(float64) == 0 {
 		t.Fatalf("stats = %v", st)
 	}
 	if st["live_microvms"].(float64) != 0 {
 		t.Fatal("VMs leaked between requests")
+	}
+	nodes := st["nodes"].([]any)
+	if len(nodes) != 2 {
+		t.Fatalf("stats nodes = %v", nodes)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz status = %d", status)
+	}
+	var hz map[string]any
+	if err := json.Unmarshal(body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz["status"] != "ok" {
+		t.Fatalf("healthz = %v", hz)
+	}
+	nodes := hz["nodes"].(map[string]any)
+	if nodes["node-00"] != "healthy" || nodes["node-01"] != "healthy" {
+		t.Fatalf("healthz nodes = %v", nodes)
+	}
+}
+
+func TestHealthzPayloadStates(t *testing.T) {
+	snap := metrics.Snapshot{Gauges: []metrics.GaugeSnapshot{
+		{Name: `node_state{node="node-00"}`, Value: 2},
+		{Name: `node_state{node="node-01"}`, Value: 2},
+		{Name: `other_gauge`, Value: 5},
+	}}
+	code, payload := healthzPayload(snap)
+	if code != http.StatusServiceUnavailable || payload["status"] != "down" {
+		t.Fatalf("all-down payload = %d %v", code, payload)
+	}
+	snap.Gauges[0].Value = 0
+	code, payload = healthzPayload(snap)
+	if code != http.StatusOK || payload["status"] != "degraded" {
+		t.Fatalf("degraded payload = %d %v", code, payload)
 	}
 }
 
@@ -130,12 +188,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	post(t, ts.URL+"/install", installBody)
 	post(t, ts.URL+"/invoke/hello", `{"who": "fireworks"}`)
 
-	resp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_, body := get(t, ts.URL+"/metrics")
 	text := string(body)
 	for _, want := range []string{
 		"vmm_snapshot_restores_total 1",
@@ -143,29 +196,90 @@ func TestMetricsEndpoint(t *testing.T) {
 		"mem_cow_faults_total",
 		"histogram msgbus_dwell",
 		`invoke_total{platform="fireworks"} 1`,
+		"events_recorded_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("text dump missing %q:\n%s", want, text)
 		}
 	}
 
-	resp, err = http.Get(ts.URL + "/metrics?format=json")
-	if err != nil {
-		t.Fatal(err)
-	}
+	_, body = get(t, ts.URL+"/metrics?format=json")
 	var snap map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+	if err := json.Unmarshal(body, &snap); err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 	if _, ok := snap["counters"]; !ok {
 		t.Fatalf("json dump missing counters: %v", snap)
 	}
 }
 
+func TestTraceAndEventsEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/install", installBody)
+	_, out := post(t, ts.URL+"/invoke/hello", `{"who": "fireworks"}`)
+	traceID := int(out["trace_id"].(float64))
+
+	// The request's trace is retrievable by id and spans gateway,
+	// cluster, and core.
+	status, body := get(t, ts.URL+"/trace/"+strconv.Itoa(traceID))
+	if status != http.StatusOK {
+		t.Fatalf("trace status = %d: %s", status, body)
+	}
+	text := string(body)
+	for _, want := range []string{`"gateway"`, `"cluster"`, `"core"`, `"msgbus"`, `"vmm"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace missing component %s:\n%s", want, text)
+		}
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("trace line does not parse: %v: %s", err, sc.Text())
+		}
+	}
+
+	status, _ = get(t, ts.URL+"/trace/999999")
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d", status)
+	}
+	status, _ = get(t, ts.URL+"/trace/bogus")
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad trace id status = %d", status)
+	}
+
+	// Chrome export parses and carries trace events.
+	status, body = get(t, ts.URL+"/events?format=chrome")
+	if status != http.StatusOK {
+		t.Fatalf("events status = %d", status)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("chrome export does not parse: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("chrome export is empty")
+	}
+
+	// limit bounds the NDJSON dump.
+	status, body = get(t, ts.URL+"/events?limit=3")
+	if status != http.StatusOK {
+		t.Fatalf("events limit status = %d", status)
+	}
+	if n := strings.Count(string(body), "\n"); n != 3 {
+		t.Fatalf("limit=3 returned %d lines", n)
+	}
+	status, _ = get(t, ts.URL+"/events?format=xml")
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown format status = %d", status)
+	}
+}
+
 func TestMetricsDemoDump(t *testing.T) {
 	var buf strings.Builder
-	if err := runMetricsDemo(&buf, "text", 3, 6, nil); err != nil {
+	if err := runMetricsDemo(&buf, demoConfig{format: "text", nodes: 3, invocations: 6}); err != nil {
 		t.Fatal(err)
 	}
 	text := buf.String()
@@ -186,7 +300,7 @@ func TestMetricsDemoDump(t *testing.T) {
 	}
 
 	var jsonBuf strings.Builder
-	if err := runMetricsDemo(&jsonBuf, "json", 2, 2, nil); err != nil {
+	if err := runMetricsDemo(&jsonBuf, demoConfig{format: "json", nodes: 2, invocations: 2}); err != nil {
 		t.Fatal(err)
 	}
 	var snap map[string]any
@@ -194,8 +308,53 @@ func TestMetricsDemoDump(t *testing.T) {
 		t.Fatalf("json dump does not parse: %v", err)
 	}
 
-	if err := runMetricsDemo(io.Discard, "yaml", 1, 1, nil); err == nil {
+	if err := runMetricsDemo(io.Discard, demoConfig{format: "yaml", nodes: 1, invocations: 1}); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestMetricsDemoTraceDumpAndProfile(t *testing.T) {
+	dir := t.TempDir()
+	chromePath := filepath.Join(dir, "trace.json")
+	var profile strings.Builder
+	cfg := demoConfig{
+		format: "text", nodes: 2, invocations: 3,
+		traceDump: chromePath, profile: &profile,
+	}
+	if err := runMetricsDemo(io.Discard, cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &chrome); err != nil {
+		t.Fatalf("trace dump does not parse: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("trace dump is empty")
+	}
+	if !strings.Contains(profile.String(), "core:invoke") {
+		t.Fatalf("profile has no invoke frames:\n%s", profile.String())
+	}
+
+	// A non-.json name gets NDJSON.
+	ndPath := filepath.Join(dir, "trace.ndjson")
+	cfg = demoConfig{format: "text", nodes: 1, invocations: 1, traceDump: ndPath}
+	if err := runMetricsDemo(io.Discard, cfg); err != nil {
+		t.Fatal(err)
+	}
+	nd, err := os.ReadFile(ndPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first map[string]any
+	line, _, _ := strings.Cut(string(nd), "\n")
+	if err := json.Unmarshal([]byte(line), &first); err != nil {
+		t.Fatalf("ndjson dump first line does not parse: %v", err)
 	}
 }
 
@@ -220,7 +379,9 @@ func TestParseFaultsSpec(t *testing.T) {
 
 func TestMetricsDemoWithFaults(t *testing.T) {
 	var buf strings.Builder
-	if err := runMetricsDemo(&buf, "text", 2, 20, &faultsConfig{seed: 7, rate: 0.1}); err != nil {
+	cfg := demoConfig{format: "text", nodes: 2, invocations: 20,
+		chaos: &faultsConfig{seed: 7, rate: 0.1}}
+	if err := runMetricsDemo(&buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "faults_injected_total{") {

@@ -1,0 +1,51 @@
+// Command tracecheck validates a Chrome trace-event JSON file: the
+// file must parse as JSON and carry a non-empty traceEvents array whose
+// events have the mandatory phase field. It is the sanity gate behind
+// `make trace-demo` — cheap enough for CI, strict enough to catch a
+// broken exporter before a human loads the file in Perfetto.
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if !json.Valid(raw) {
+		fatal(fmt.Errorf("%s: not valid JSON", path))
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if len(doc.TraceEvents) == 0 {
+		fatal(fmt.Errorf("%s: traceEvents is empty", path))
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Phase == "" {
+			fatal(fmt.Errorf("%s: traceEvents[%d] has no ph field", path, i))
+		}
+	}
+	fmt.Printf("tracecheck: %s ok (%d events)\n", path, len(doc.TraceEvents))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

@@ -15,10 +15,12 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/metrics"
@@ -148,6 +150,9 @@ type Cluster struct {
 	policy  Policy
 	nodes   []*Node
 	metrics *metrics.Registry
+	// journal is the shared event journal every node records into, so a
+	// request's trace survives failover hops across hosts.
+	journal *events.Journal
 	// faults is the shared fault plane armed on every node's Env (nil
 	// when the cluster runs fault-free); the cluster.node site draws
 	// once per placement and can crash the chosen node.
@@ -176,9 +181,15 @@ func New(n int, policy Policy, envCfg platform.EnvConfig,
 		reg = metrics.NewRegistry()
 		envCfg.Metrics = reg
 	}
+	journal := envCfg.Events
+	if journal == nil {
+		journal = events.NewJournal(0)
+		envCfg.Events = journal
+	}
 	c := &Cluster{
 		policy:     policy,
 		metrics:    reg,
+		journal:    journal,
 		faults:     envCfg.Faults,
 		placements: reg.Counter(metrics.Name("cluster_placements_total", "policy", policy.String())),
 		rejections: reg.Counter("cluster_rejections_total"),
@@ -222,6 +233,9 @@ func (c *Cluster) SetFailover(p FailoverPolicy) {
 // Metrics returns the cluster's shared registry.
 func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
 
+// Journal returns the cluster's shared event journal.
+func (c *Cluster) Journal() *events.Journal { return c.journal }
+
 // Nodes returns the cluster's nodes.
 func (c *Cluster) Nodes() []*Node { return c.nodes }
 
@@ -231,12 +245,25 @@ func (c *Cluster) Policy() Policy { return c.policy }
 // Install deploys a function on every node (each node materializes its
 // own snapshot). The first error aborts and is returned.
 func (c *Cluster) Install(fn platform.Function) error {
+	_, err := c.InstallReported(fn)
+	return err
+}
+
+// InstallReported is Install returning the first node's install report
+// (every node materializes an equivalent snapshot, so one report is
+// representative of the fleet).
+func (c *Cluster) InstallReported(fn platform.Function) (*platform.InstallReport, error) {
+	var rep *platform.InstallReport
 	for _, node := range c.nodes {
-		if _, err := node.Platform.Install(fn); err != nil {
-			return fmt.Errorf("cluster: %s: %w", node.Name, err)
+		r, err := node.Platform.Install(fn)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", node.Name, err)
+		}
+		if rep == nil {
+			rep = r
 		}
 	}
-	return nil
+	return rep, nil
 }
 
 // Remove undeploys a function everywhere.
@@ -256,7 +283,7 @@ func (c *Cluster) Remove(name string) error {
 // the fleet instead of all reading the same stale counts and piling
 // onto one node. The caller releases the slot when the invocation
 // completes.
-func (c *Cluster) pick(exclude map[*Node]bool) (*Node, error) {
+func (c *Cluster) pick(exclude map[*Node]bool, sc *events.Scope, now time.Duration) (*Node, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Ticks advance on every placement attempt — successful or not —
@@ -276,10 +303,11 @@ func (c *Cluster) pick(exclude map[*Node]bool) (*Node, error) {
 		// One cluster.node draw per placement: a crash fault takes the
 		// chosen node out of the fleet and placement retries on the
 		// survivors.
-		if ferr := c.faults.Inject(faults.SiteClusterNode, nil); ferr != nil {
+		if ferr := c.faults.InjectTraced(faults.SiteClusterNode, nil, sc, now); ferr != nil {
 			c.crashes.Inc()
 			best.setHealth(Down)
 			best.recoverAt = c.ticks + uint64(c.failover.DownTicks)
+			sc.Instant("cluster", "node-crash", now, events.A("node", best.Name))
 			continue
 		}
 		best.inflight.Add(1)
@@ -389,28 +417,72 @@ func (c *Cluster) Invoke(name string, params lang.Value, opts platform.InvokeOpt
 	c.mu.Lock()
 	maxFailovers := c.failover.MaxFailovers
 	c.mu.Unlock()
+	// Every request gets one trace: either nested under the caller's
+	// scope (an API-gateway span) or rooted here. Placement, failover
+	// hops, and node crashes all land in it; each attempt's invocation
+	// clock restarts at zero, which the exporters normalize.
+	sc := opts.Trace
+	if sc == nil {
+		sc = c.journal.NewScope("cluster", "request", 0, events.A("function", name))
+	} else {
+		sc.Begin("cluster", "request", 0, events.A("function", name))
+	}
+	opts.Trace = sc
+	var now time.Duration
+	finish := func(inv *platform.Invocation, node *Node, ferr error) {
+		if inv != nil {
+			now = inv.Clock.Now()
+		}
+		attrs := make([]events.Attr, 0, 2)
+		if node != nil {
+			attrs = append(attrs, events.A("node", node.Name))
+		}
+		if ferr != nil {
+			attrs = append(attrs, events.A("error", ferr.Error()))
+		}
+		sc.End(now, attrs...)
+	}
 	var exclude map[*Node]bool
+	var lastPlace events.Ref
 	for attempt := 0; ; attempt++ {
-		node, err := c.pick(exclude)
+		node, err := c.pick(exclude, sc, now)
 		if err != nil {
+			finish(nil, nil, err)
 			return nil, nil, err
 		}
+		lastPlace = sc.Instant("cluster", "place", now,
+			events.A("node", node.Name),
+			events.A("policy", c.policy.String()),
+			events.A("attempt", strconv.Itoa(attempt+1)))
+		sc.SetNode(node.Name)
 		inv, err := node.Platform.Invoke(name, params, opts)
 		c.release(node)
 		if err == nil {
 			c.recordSuccess(node)
 			node.invocations.Add(1)
 			node.invokeCnt.Inc()
+			finish(inv, node, nil)
 			return inv, node, nil
 		}
 		if !faults.IsTransient(err) {
-			return inv, node, fmt.Errorf("cluster: %s: %w", node.Name, err)
+			werr := fmt.Errorf("cluster: %s: %w", node.Name, err)
+			finish(inv, node, werr)
+			return inv, node, werr
 		}
 		c.recordFailure(node)
+		if inv != nil {
+			now = inv.Clock.Now()
+		}
 		if attempt >= maxFailovers {
-			return inv, node, fmt.Errorf("cluster: %s: %w", node.Name, err)
+			werr := fmt.Errorf("cluster: %s: %w", node.Name, err)
+			finish(inv, node, werr)
+			return inv, node, werr
 		}
 		c.failovers.Inc()
+		// The failover instant links back to the failed placement so the
+		// re-placement is causally joined to the attempt it replaces.
+		sc.InstantLinked("cluster", "failover", now, lastPlace,
+			events.A("from", node.Name), events.A("error", err.Error()))
 		if exclude == nil {
 			exclude = make(map[*Node]bool, len(c.nodes))
 		}

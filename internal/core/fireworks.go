@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/annotate"
+	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/lifecycle"
@@ -178,12 +179,18 @@ func (f *Framework) Install(fn platform.Function) (*platform.InstallReport, erro
 	}
 
 	clock := vclock.New()
+	sc := f.env.Events.NewScope("core", "install", clock.Now(), events.A("function", fn.Name))
+	// Close ends every span still open, so early-return error paths
+	// leave no dangling journal spans.
+	defer func() { sc.Close(clock.Now()) }()
 	// ① Create a microVM ready for a runtime.
+	sc.Begin("core", "boot", clock.Now())
 	vm, err := f.env.HV.CreateVM(vmm.DefaultConfig(), clock)
 	if err != nil {
 		return nil, err
 	}
-	if err := f.bootRetrier.Do(clock, func() error { return vm.BootKernel(clock) }); err != nil {
+	sc.SetVM(vm.ID)
+	if err := f.bootRetrier.DoTraced(clock, sc, "kernel-boot", func() error { return vm.BootKernelTraced(clock, sc) }); err != nil {
 		return nil, err
 	}
 	rt := runtime.New(fn.Lang, clock)
@@ -191,6 +198,7 @@ func (f *Framework) Install(fn platform.Function) (*platform.InstallReport, erro
 	// Package installation (npm/pip) dominates install time for
 	// Node.js (§5.1).
 	clock.Advance(rt.Model.PackageInstall)
+	sc.End(clock.Now())
 
 	// Host bridge for the install phase: priming mode suppresses
 	// externally visible effects; the snapshot request captures the
@@ -199,6 +207,8 @@ func (f *Framework) Install(fn platform.Function) (*platform.InstallReport, erro
 	inst := &installed{fn: fn, annotated: ann, report: report}
 	installInv := platform.NewInvocation(fn.Name)
 	installInv.Clock = clock
+	// Chain invocations run during priming nest under the install trace.
+	installInv.Trace = sc
 	binding := &platform.NativeBinding{
 		Profile: f.profile,
 		FS:      vm.FS,
@@ -215,11 +225,12 @@ func (f *Framework) Install(fn platform.Function) (*platform.InstallReport, erro
 	f.installFireworksNatives(rt, &fireworksBridge{
 		defaultParams: fn.DefaultParams,
 		snapshotRequest: func() error {
-			return f.takeSnapshot(inst, vm, rt, clock)
+			return f.takeSnapshot(inst, vm, rt, clock, sc)
 		},
 	})
 
 	// ② ③ Load the annotated module and run the JIT driver.
+	sc.Begin("core", "jit-prime", clock.Now())
 	if err := rt.LoadModule(ann.Source); err != nil {
 		_ = vm.Stop()
 		return nil, err
@@ -232,13 +243,16 @@ func (f *Framework) Install(fn platform.Function) (*platform.InstallReport, erro
 	// language's JIT supports, not only those the priming run made hot.
 	rt.ForceJITAll()
 	report.JITCompiled = rt.Engine.CompiledFunctions()
+	sc.End(clock.Now())
 
 	// ④ The annotated code requests the snapshot right before the
 	// original entry point.
+	sc.Begin("core", "snapshot-capture", clock.Now())
 	if _, err := rt.Call("__fireworks_snapshot"); err != nil {
 		_ = vm.Stop()
 		return nil, fmt.Errorf("fireworks: snapshot of %q: %w", fn.Name, err)
 	}
+	sc.End(clock.Now())
 	if inst.template == nil {
 		_ = vm.Stop()
 		return nil, fmt.Errorf("fireworks: %q never requested its snapshot", fn.Name)
@@ -257,7 +271,7 @@ func (f *Framework) Install(fn platform.Function) (*platform.InstallReport, erro
 }
 
 // takeSnapshot captures guest state and memory at the snapshot point.
-func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.Runtime, clock *vclock.Clock) error {
+func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.Runtime, clock *vclock.Clock, sc *events.Scope) error {
 	template, err := rt.SnapshotTemplate()
 	if err != nil {
 		return err
@@ -277,6 +291,8 @@ func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.R
 	if err != nil {
 		return err
 	}
+	sc.Instant("vmm", "snapshot", clock.Now(),
+		events.A("vm", vm.ID), events.A("snapshot", snap.ID))
 	if err := f.env.Snaps.Put(inst.fn.Name, snap); err != nil {
 		return f.classifyPutError(inst.fn.Name, err)
 	}
@@ -284,7 +300,7 @@ func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.R
 	// image, so later local evictions cost a network fetch instead of a
 	// reinstall (§6).
 	if f.env.RemoteSnaps != nil {
-		f.env.RemoteSnaps.Upload(inst.fn.Name, snap, clock)
+		f.env.RemoteSnaps.UploadTraced(inst.fn.Name, snap, clock, sc)
 	}
 	inst.template = template
 	inst.report.SnapshotBytes = snap.TotalBytes()
@@ -343,34 +359,73 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 	inv := opts.Parent
 	if inv == nil {
 		inv = platform.NewInvocation(name)
+		inv.Trace = opts.Trace
+	}
+	// Trace context: nest under the caller's scope (gateway, cluster,
+	// or a chain parent) when one is open, else root a fresh trace.
+	sc := inv.Trace
+	var entryDepth int
+	if sc == nil {
+		sc = f.env.Events.NewScope("core", "invoke", inv.Clock.Now(), events.A("function", name))
+		inv.Trace = sc
+	} else {
+		entryDepth = sc.OpenSpans()
+		sc.Begin("core", "invoke", inv.Clock.Now(), events.A("function", name))
+	}
+	// finishScope closes the invoke span (and, defensively, anything a
+	// failed stage left open under it).
+	finishScope := func(ferr error) {
+		now := inv.Clock.Now()
+		for sc.OpenSpans() > entryDepth+1 {
+			sc.End(now)
+		}
+		if ferr != nil {
+			sc.End(now, events.A("error", ferr.Error()))
+		} else {
+			sc.End(now, events.A("mode", inv.Mode.String()))
+		}
+	}
+	// traced wraps a pipeline stage in a journal span named after it.
+	traced := func(stageName string, fn func(cl *lifecycle.Cleanup) error) func(cl *lifecycle.Cleanup) error {
+		return func(cl *lifecycle.Cleanup) error {
+			sc.Begin("core", stageName, inv.Clock.Now())
+			err := fn(cl)
+			if err != nil {
+				sc.End(inv.Clock.Now(), events.A("error", err.Error()))
+			} else {
+				sc.End(inv.Clock.Now())
+			}
+			return err
+		}
 	}
 
 	st := &invokeState{inst: inst}
 	pl := lifecycle.NewPipeline().
-		Stage("snapshot-get", func(cl *lifecycle.Cleanup) error {
+		Stage("snapshot-get", traced("snapshot-get", func(cl *lifecycle.Cleanup) error {
 			return f.stageSnapshot(st, name, inv, cl)
-		}).
-		Stage("topic-produce", func(cl *lifecycle.Cleanup) error {
+		})).
+		Stage("topic-produce", traced("topic-produce", func(cl *lifecycle.Cleanup) error {
 			return f.stageTopic(st, name, params, inv, cl)
-		}).
-		Stage("restore-or-reuse", func(cl *lifecycle.Cleanup) error {
+		})).
+		Stage("restore-or-reuse", traced("restore-or-reuse", func(cl *lifecycle.Cleanup) error {
 			return f.stageRestore(st, name, inv, opts, cl)
-		}).
-		Stage("netns", func(cl *lifecycle.Cleanup) error {
+		})).
+		Stage("netns", traced("netns", func(cl *lifecycle.Cleanup) error {
 			return f.stageNetns(st, inv, cl)
-		}).
-		Stage("runtime-revive", func(cl *lifecycle.Cleanup) error {
+		})).
+		Stage("runtime-revive", traced("runtime-revive", func(cl *lifecycle.Cleanup) error {
 			return f.stageRevive(st, inv, cl)
-		}).
-		Stage("execute", func(cl *lifecycle.Cleanup) error {
+		})).
+		Stage("execute", traced("execute", func(cl *lifecycle.Cleanup) error {
 			return f.stageExecute(st, name, inv, cl)
-		}).
-		Stage("release", func(cl *lifecycle.Cleanup) error {
+		})).
+		Stage("release", traced("release", func(cl *lifecycle.Cleanup) error {
 			return f.stageRelease(st, name, inv, opts, cl)
-		})
+		}))
 	if err := pl.Run(); err != nil {
 		platform.ObserveInvokeError(f.env.Metrics, "fireworks")
 		f.env.Metrics.Counter(metrics.Name("fireworks_stage_failures_total", "stage", pl.Failed())).Inc()
+		finishScope(err)
 		// An execute (or release) failure still yields the invocation
 		// with its breakdown for diagnosis; start-up failures do not.
 		if failed := pl.Failed(); failed == "execute" || failed == "release" {
@@ -383,6 +438,7 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 	if opts.Parent == nil {
 		platform.ObserveInvocation(f.env.Metrics, "fireworks", inv)
 	}
+	finishScope(nil)
 	return inv, nil
 }
 
@@ -394,10 +450,11 @@ func (f *Framework) stageSnapshot(st *invokeState, name string, inv *platform.In
 	if err != nil && f.env.RemoteSnaps != nil {
 		// Local eviction: pull the image from remote storage (charged
 		// to this invocation's start-up) and repopulate the cache.
+		inv.Trace.Instant("snapshot", "store-miss", inv.Clock.Now(), events.A("image", name))
 		fetchMark := inv.Clock.Now()
-		err = f.retrier.Do(inv.Clock, func() error {
+		err = f.retrier.DoTraced(inv.Clock, inv.Trace, "remote-fetch", func() error {
 			var ferr error
-			snap, ferr = f.env.RemoteSnaps.Fetch(name, inv.Clock)
+			snap, ferr = f.env.RemoteSnaps.FetchTraced(name, inv.Clock, inv.Trace)
 			return ferr
 		})
 		if err == nil {
@@ -449,9 +506,11 @@ func (f *Framework) stageTopic(st *invokeState, name string, params lang.Value, 
 		return fmt.Errorf("fireworks: params: %w", err)
 	}
 	// Stamp the record with this invocation's clock position so the
-	// stamped consume after restore measures queue dwell (§3.6).
-	if err := f.retrier.Do(inv.Clock, func() error {
-		_, _, perr := f.env.Bus.ProduceAt(st.topic, st.fcID, paramJSON, inv.Clock.Now())
+	// stamped consume after restore measures queue dwell (§3.6), and
+	// with the trace scope so the consume event links back to the
+	// produce across the restore boundary.
+	if err := f.retrier.DoTraced(inv.Clock, inv.Trace, "param-produce", func() error {
+		_, _, perr := f.env.Bus.ProduceTracedAt(st.topic, st.fcID, paramJSON, inv.Clock.Now(), inv.Trace)
 		return perr
 	}); err != nil {
 		return err
@@ -475,9 +534,10 @@ func (f *Framework) stageRestore(st *invokeState, name string, inv *platform.Inv
 				}
 			})
 			inv.Breakdown.BeginSpan("startup", trace.PhaseStartup, st.startupMark)
-			inv.Breakdown.BeginSpan("warm-resume", trace.PhaseStartup, st.startupMark)
-			err := pooled.VM.ResumeWarm(inv.Clock)
-			inv.Breakdown.EndSpan(inv.Clock.Now())
+			inv.Trace.SetVM(pooled.VM.ID)
+			inv.StartSpan("core", "warm-resume", trace.PhaseStartup)
+			err := pooled.VM.ResumeWarmTraced(inv.Clock, inv.Trace)
+			inv.FinishSpan()
 			if err != nil {
 				inv.Breakdown.EndSpan(inv.Clock.Now())
 				return err
@@ -499,13 +559,13 @@ func (f *Framework) stageRestore(st *invokeState, name string, inv *platform.Inv
 		return st.snapErr
 	}
 	inv.Breakdown.BeginSpan("startup", trace.PhaseStartup, st.startupMark)
-	inv.Breakdown.BeginSpan("vm-restore", trace.PhaseStartup, st.startupMark)
+	inv.StartSpan("core", "vm-restore", trace.PhaseStartup)
 	// A restore that exceeds the per-attempt deadline (a latency-spike
 	// fault) leaves a running clone behind; the discard hook stops it
 	// before the retry restores a fresh one.
 	var vm *vmm.MicroVM
-	err := f.retrier.DoWithDiscard(inv.Clock, func() error {
-		restored, rerr := f.env.HV.Restore(st.snap, vmm.RestoreOptions{REAPPrefetch: f.opts.REAPPrefetch}, inv.Clock)
+	err := f.retrier.DoWithDiscardTraced(inv.Clock, inv.Trace, "vm-restore", func() error {
+		restored, rerr := f.env.HV.RestoreTraced(st.snap, vmm.RestoreOptions{REAPPrefetch: f.opts.REAPPrefetch}, inv.Clock, inv.Trace)
 		if rerr != nil {
 			return rerr
 		}
@@ -517,11 +577,12 @@ func (f *Framework) stageRestore(st *invokeState, name string, inv *platform.Inv
 			vm = nil
 		}
 	})
-	inv.Breakdown.EndSpan(inv.Clock.Now())
+	inv.FinishSpan()
 	if err != nil {
 		inv.Breakdown.EndSpan(inv.Clock.Now())
 		return err
 	}
+	inv.Trace.SetVM(vm.ID)
 	cl.Defer(func() {
 		if vm.State() != vmm.StateStopped {
 			_ = vm.Stop()
@@ -539,9 +600,9 @@ func (f *Framework) stageNetns(st *invokeState, inv *platform.Invocation, cl *li
 		return nil
 	}
 	vm := st.instance.VM
-	inv.Breakdown.BeginSpan("netns-setup", trace.PhaseStartup, inv.Clock.Now())
+	inv.StartSpan("core", "netns-setup", trace.PhaseStartup)
 	err := f.env.HV.SetupNetwork(vm, st.snap.GuestIP, inv.Clock)
-	inv.Breakdown.EndSpan(inv.Clock.Now())
+	inv.FinishSpan()
 	if err != nil {
 		inv.Breakdown.EndSpan(inv.Clock.Now())
 		return err
@@ -565,9 +626,9 @@ func (f *Framework) stageRevive(st *invokeState, inv *platform.Invocation, cl *l
 	}
 	vm := st.instance.VM
 	template := st.snap.GuestState.(*runtime.SnapshotTemplate)
-	inv.Breakdown.BeginSpan("runtime-revive", trace.PhaseStartup, inv.Clock.Now())
+	inv.StartSpan("core", "runtime-revive", trace.PhaseStartup)
 	rt, err := runtime.NewFromSnapshot(template, inv.Clock)
-	inv.Breakdown.EndSpan(inv.Clock.Now())
+	inv.FinishSpan()
 	if err != nil {
 		inv.Breakdown.EndSpan(inv.Clock.Now())
 		return err
@@ -609,8 +670,8 @@ func (f *Framework) invokeBridge(st *invokeState, inv *platform.Invocation) *fir
 				return nil, fmt.Errorf("fireworks: MMDS has no topic")
 			}
 			var msg msgbus.Message
-			err := f.retrier.Do(inv.Clock, func() error {
-				m, cerr := f.env.Bus.ConsumeLatestAt(topicName, inv.Clock.Now())
+			err := f.retrier.DoTraced(inv.Clock, inv.Trace, "param-fetch", func() error {
+				m, cerr := f.env.Bus.ConsumeLatestTracedAt(topicName, inv.Clock.Now(), inv.Trace)
 				if cerr != nil {
 					return cerr
 				}
@@ -632,10 +693,10 @@ func (f *Framework) stageExecute(st *invokeState, name string, inv *platform.Inv
 	rt := st.instance.rt
 	attributedBefore := inv.Breakdown.Total()
 	mark := inv.Clock.Now()
-	inv.Breakdown.BeginSpan("exec", trace.PhaseExec, mark)
+	inv.StartSpan("core", "exec", trace.PhaseExec)
 	result, err := rt.Call("__fireworks_continue")
 	span := inv.Clock.Since(mark)
-	inv.Breakdown.EndSpan(inv.Clock.Now())
+	inv.FinishSpan()
 	inv.Breakdown.Add(trace.PhaseExec, "exec", span-(inv.Breakdown.Total()-attributedBefore))
 	if err != nil {
 		return fmt.Errorf("fireworks: %s: %w", name, err)
@@ -687,6 +748,7 @@ func (f *Framework) stageRelease(st *invokeState, name string, inv *platform.Inv
 			_ = vm.Stop()
 			return nil
 		}
+		inv.Trace.Instant("vmm", "pause", inv.Clock.Now(), events.A("vm", vm.ID))
 		f.pool.Release(name, instance, opts.At)
 	default:
 		stopErr := vm.Stop()
@@ -694,6 +756,7 @@ func (f *Framework) stageRelease(st *invokeState, name string, inv *platform.Inv
 		if stopErr != nil {
 			return stopErr
 		}
+		inv.Trace.Instant("vmm", "stop", inv.Clock.Now(), events.A("vm", vm.ID))
 	}
 	return nil
 }

@@ -1,0 +1,388 @@
+// Package events is the causal event journal of the simulated stack:
+// a concurrency-safe, bounded ring buffer of timestamped events on the
+// virtual clock, from which per-request traces, Perfetto-loadable
+// Chrome trace files, and virtual-time flame profiles are derived.
+//
+// Every event carries a TraceID (one end-to-end request), a SpanID, and
+// the parent span it nests under; causal links can additionally cross
+// traces and components — a msgbus record carries its producer's span
+// reference so the consume event links back to the produce, and a
+// cluster failover links the re-placement to the failed attempt.
+//
+// Like the metrics registry and the fault plane, the journal is a pure
+// function of the workload and the seed: IDs are allocated in
+// operation order and timestamps come from virtual clocks, so a
+// sequential run with a fixed seed reproduces the NDJSON dump byte for
+// byte. (Concurrent invocations interleave appends in goroutine
+// schedule order — the same caveat internal/faults documents.)
+package events
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TraceID identifies one end-to-end request; 0 means "no trace"
+// (a global event outside any request).
+type TraceID uint64
+
+// SpanID identifies one span (or instant) within the journal. IDs are
+// unique journal-wide, not per trace.
+type SpanID uint64
+
+// Ref names a span in a journal — the currency of causal links. The
+// zero Ref links to nothing.
+type Ref struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// IsZero reports whether the ref links to nothing.
+func (r Ref) IsZero() bool { return r.Trace == 0 && r.Span == 0 }
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds. Begin/End delimit a span; Instant is a zero-width mark
+// (which still gets its own SpanID so later events can link to it).
+const (
+	KindBegin   Kind = "begin"
+	KindEnd     Kind = "end"
+	KindInstant Kind = "instant"
+)
+
+// Attr is one key=value annotation on an event. Attrs are ordered (a
+// slice, not a map) so the journal's exports are byte-stable.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// A builds an Attr; it keeps emission sites compact.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Event is one record in the journal.
+type Event struct {
+	// Seq is the journal-wide append sequence number (1-based).
+	Seq uint64
+	// TS is the virtual-clock position of the emitting invocation.
+	// Clocks are per-invocation, so TS is monotonic within one trace
+	// segment but restarts across requests (and across failover
+	// attempts); exporters normalize where their format requires it.
+	TS time.Duration
+	// Trace/Span/Parent place the event in its request's span tree.
+	Trace  TraceID
+	Span   SpanID
+	Parent SpanID
+	Kind   Kind
+	// Component names the emitting subsystem (core, cluster, msgbus,
+	// vmm, snapshot, faults, retry, gateway).
+	Component string
+	Name      string
+	// Node and VM locate the event in the fleet (Perfetto: one pid per
+	// node, one tid per VM; empty = the host / control plane).
+	Node string
+	VM   string
+	// Link is a causal reference to another span (produce→consume,
+	// failed attempt→failover re-placement). Zero when unlinked.
+	Link  Ref
+	Attrs []Attr
+}
+
+// DefaultCapacity is the journal's default ring size.
+const DefaultCapacity = 1 << 16
+
+// Journal is the bounded event ring of one simulated deployment (a
+// host, or a whole cluster sharing one journal via EnvConfig). When
+// full, the oldest events are dropped and counted. A nil *Journal is
+// valid and records nothing, so components emit unconditionally.
+type Journal struct {
+	mu        sync.Mutex
+	buf       []Event
+	start     int // index of the oldest event
+	n         int // events resident
+	seq       uint64
+	nextTrace uint64
+	nextSpan  uint64
+	dropped   uint64
+
+	recorded *metrics.Counter
+	droppedC *metrics.Counter
+}
+
+// NewJournal returns a journal holding at most capacity events
+// (DefaultCapacity when <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Instrument attaches the journal to a metrics registry:
+// events_recorded_total and events_dropped_total.
+func (j *Journal) Instrument(reg *metrics.Registry) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recorded = reg.Counter("events_recorded_total")
+	j.droppedC = reg.Counter("events_dropped_total")
+}
+
+// append records an event, assigning its sequence number.
+func (j *Journal) append(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	if j.n == len(j.buf) {
+		// Ring full: overwrite the oldest.
+		j.start = (j.start + 1) % len(j.buf)
+		j.n--
+		j.dropped++
+		j.droppedC.Inc()
+	}
+	j.buf[(j.start+j.n)%len(j.buf)] = e
+	j.n++
+	j.recorded.Inc()
+	j.mu.Unlock()
+}
+
+// newTraceID allocates a fresh trace ID.
+func (j *Journal) newTraceID() TraceID {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	j.nextTrace++
+	id := TraceID(j.nextTrace)
+	j.mu.Unlock()
+	return id
+}
+
+// newSpanID allocates a fresh span ID.
+func (j *Journal) newSpanID() SpanID {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	j.nextSpan++
+	id := SpanID(j.nextSpan)
+	j.mu.Unlock()
+	return id
+}
+
+// Len reports how many events are resident.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Dropped reports how many events the ring has evicted.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Events returns a copy of the resident events in append order.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, j.n)
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.buf[(j.start+i)%len(j.buf)])
+	}
+	return out
+}
+
+// Tail returns a copy of the newest n resident events in append order
+// (all of them when n <= 0 or n exceeds the resident count).
+func (j *Journal) Tail(n int) []Event {
+	evs := j.Events()
+	if n > 0 && n < len(evs) {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Trace returns the resident events of one trace in append order.
+func (j *Journal) Trace(id TraceID) []Event {
+	if j == nil || id == 0 {
+		return nil
+	}
+	var out []Event
+	for _, e := range j.Events() {
+		if e.Trace == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Instant records a global (traceless) event — used by components that
+// fire outside any request context. Returns the instant's Ref so later
+// events may still link to it.
+func (j *Journal) Instant(component, name string, ts time.Duration, attrs ...Attr) Ref {
+	if j == nil {
+		return Ref{}
+	}
+	id := j.newSpanID()
+	j.append(Event{
+		TS: ts, Span: id, Kind: KindInstant,
+		Component: component, Name: name, Attrs: attrs,
+	})
+	return Ref{Span: id}
+}
+
+// Scope is one request's handle into the journal: it owns a TraceID
+// and a stack of open spans, so emission sites only name what happened
+// and the scope supplies trace, parent, node, and VM context. Like
+// trace.Breakdown it is owned by a single invocation and is not safe
+// for concurrent use. A nil *Scope is valid and records nothing.
+type Scope struct {
+	j     *Journal
+	trace TraceID
+	stack []SpanID
+	node  string
+	vm    string
+}
+
+// NewScope opens a new trace rooted at a span named name, beginning at
+// virtual time ts. A nil journal yields a nil scope (which records
+// nothing), so callers never branch.
+func (j *Journal) NewScope(component, name string, ts time.Duration, attrs ...Attr) *Scope {
+	if j == nil {
+		return nil
+	}
+	s := &Scope{j: j, trace: j.newTraceID()}
+	s.Begin(component, name, ts, attrs...)
+	return s
+}
+
+// TraceID returns the scope's trace ID (0 for a nil scope).
+func (s *Scope) TraceID() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// Current returns a Ref to the innermost open span — what a record
+// carries so a later consumer can link back to its producer.
+func (s *Scope) Current() Ref {
+	if s == nil || len(s.stack) == 0 {
+		return Ref{}
+	}
+	return Ref{Trace: s.trace, Span: s.stack[len(s.stack)-1]}
+}
+
+// SetNode attributes subsequent events to a cluster node (Perfetto
+// pid). The cluster layer sets it at placement time.
+func (s *Scope) SetNode(name string) {
+	if s != nil {
+		s.node = name
+	}
+}
+
+// SetVM attributes subsequent events to a microVM (Perfetto tid).
+// Empty means the control plane.
+func (s *Scope) SetVM(id string) {
+	if s != nil {
+		s.vm = id
+	}
+}
+
+// Begin opens a span nested under the innermost open one.
+func (s *Scope) Begin(component, name string, ts time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	id := s.j.newSpanID()
+	s.j.append(Event{
+		TS: ts, Trace: s.trace, Span: id, Parent: s.parent(), Kind: KindBegin,
+		Component: component, Name: name, Node: s.node, VM: s.vm, Attrs: attrs,
+	})
+	s.stack = append(s.stack, id)
+}
+
+// End closes the innermost open span. Ending with nothing open is a
+// no-op (unlike Breakdown.EndSpan the journal is best-effort: a lost
+// event must never take the platform down).
+func (s *Scope) End(ts time.Duration, attrs ...Attr) {
+	if s == nil || len(s.stack) == 0 {
+		return
+	}
+	id := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	// End events do not repeat the Begin's component/name — consumers
+	// resolve them by span ID.
+	s.j.append(Event{
+		TS: ts, Trace: s.trace, Span: id, Parent: s.parent(), Kind: KindEnd,
+		Node: s.node, VM: s.vm, Attrs: attrs,
+	})
+}
+
+// Instant records a zero-width event under the innermost open span and
+// returns its Ref for causal linking.
+func (s *Scope) Instant(component, name string, ts time.Duration, attrs ...Attr) Ref {
+	return s.InstantLinked(component, name, ts, Ref{}, attrs...)
+}
+
+// InstantLinked is Instant carrying a causal link to another span
+// (a zero link degrades to a plain instant).
+func (s *Scope) InstantLinked(component, name string, ts time.Duration, link Ref, attrs ...Attr) Ref {
+	if s == nil {
+		return Ref{}
+	}
+	id := s.j.newSpanID()
+	s.j.append(Event{
+		TS: ts, Trace: s.trace, Span: id, Parent: s.parent(), Kind: KindInstant,
+		Component: component, Name: name, Node: s.node, VM: s.vm, Link: link, Attrs: attrs,
+	})
+	return Ref{Trace: s.trace, Span: id}
+}
+
+// Close ends every span still open, innermost first — the root last.
+// Callers that own the trace root call it exactly once at the end of
+// the request.
+func (s *Scope) Close(ts time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	for len(s.stack) > 1 {
+		s.End(ts)
+	}
+	s.End(ts, attrs...)
+}
+
+// OpenSpans reports how many spans the scope currently has open.
+func (s *Scope) OpenSpans() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.stack)
+}
+
+func (s *Scope) parent() SpanID {
+	if len(s.stack) == 0 {
+		return 0
+	}
+	return s.stack[len(s.stack)-1]
+}

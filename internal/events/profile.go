@@ -1,0 +1,102 @@
+package events
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FoldStacks folds the journal into flame-stack lines: for every span
+// path (`component:name;component:name;...`), the virtual microseconds
+// charged while that path was the innermost open stack, summed across
+// all traces. The output is the folded-stack format flamegraph.pl and
+// speedscope consume — one `path count` line, sorted by path.
+//
+// Time is charged to the stack open at the moment it elapses: between
+// consecutive events of a trace, the interval goes to the path as of
+// the earlier event. Clock restarts inside a trace (failover attempts)
+// charge nothing for the backwards jump.
+func FoldStacks(evs []Event) map[string]time.Duration {
+	type frame struct{ label string }
+	type state struct {
+		stack []frame
+		last  time.Duration
+		seen  bool
+	}
+	states := map[TraceID]*state{}
+	charged := map[string]time.Duration{}
+
+	path := func(st *state) string {
+		if len(st.stack) == 0 {
+			return ""
+		}
+		parts := make([]string, len(st.stack))
+		for i, f := range st.stack {
+			parts[i] = f.label
+		}
+		return strings.Join(parts, ";")
+	}
+
+	for _, e := range evs {
+		if e.Trace == 0 {
+			continue
+		}
+		st := states[e.Trace]
+		if st == nil {
+			st = &state{}
+			states[e.Trace] = st
+		}
+		if st.seen {
+			if d := e.TS - st.last; d > 0 {
+				if p := path(st); p != "" {
+					charged[p] += d
+				}
+			}
+		}
+		// A backwards jump (failover attempt restarting its clock at
+		// zero) charges nothing and rebases, so the attempt's own
+		// forward progress is charged from its start.
+		st.last = e.TS
+		st.seen = true
+		switch e.Kind {
+		case KindBegin:
+			st.stack = append(st.stack, frame{label: frameLabel(e)})
+		case KindEnd:
+			if len(st.stack) > 0 {
+				st.stack = st.stack[:len(st.stack)-1]
+			}
+		}
+	}
+	return charged
+}
+
+// frameLabel renders one stack frame, sanitizing the separator
+// characters of the folded format.
+func frameLabel(e Event) string {
+	l := e.Name
+	if e.Component != "" {
+		l = e.Component + ":" + e.Name
+	}
+	l = strings.ReplaceAll(l, ";", "_")
+	l = strings.ReplaceAll(l, " ", "_")
+	return l
+}
+
+// WriteProfile renders the folded stacks as `path <µs>` lines sorted
+// by path — ready for flamegraph.pl / speedscope, and byte-stable.
+func WriteProfile(w io.Writer, evs []Event) error {
+	charged := FoldStacks(evs)
+	paths := make([]string, 0, len(charged))
+	for p := range charged {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := fmt.Fprintf(w, "%s %d\n", p, charged[p].Microseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

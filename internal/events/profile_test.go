@@ -1,0 +1,79 @@
+package events
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestFoldStacksChargesInnermost(t *testing.T) {
+	j := NewJournal(0)
+	sc := j.NewScope("core", "invoke", 0)
+	sc.Begin("core", "restore-or-reuse", 10*time.Microsecond)
+	sc.Begin("vmm", "vm-restore", 20*time.Microsecond)
+	sc.End(50 * time.Microsecond) // 30µs in core:invoke;core:restore-or-reuse;vmm:vm-restore
+	sc.End(60 * time.Microsecond) // 10µs in core:invoke;core:restore-or-reuse
+	sc.Close(100 * time.Microsecond)
+
+	charged := FoldStacks(j.Events())
+	want := map[string]time.Duration{
+		"core:invoke":                                    10*time.Microsecond + 40*time.Microsecond,
+		"core:invoke;core:restore-or-reuse":              10*time.Microsecond + 10*time.Microsecond,
+		"core:invoke;core:restore-or-reuse;vmm:vm-restore": 30 * time.Microsecond,
+	}
+	for p, d := range want {
+		if charged[p] != d {
+			t.Errorf("charged[%q] = %v, want %v (all: %v)", p, charged[p], d, charged)
+		}
+	}
+	if len(charged) != len(want) {
+		t.Errorf("extra paths: %v", charged)
+	}
+}
+
+func TestFoldStacksIgnoresClockRestart(t *testing.T) {
+	j := NewJournal(0)
+	sc := j.NewScope("cluster", "request", 0)
+	sc.Instant("cluster", "place", 40*time.Microsecond)
+	sc.Instant("cluster", "failover", 0) // restarted clock — charge nothing backwards
+	sc.Instant("cluster", "place", 15*time.Microsecond)
+	sc.Close(30 * time.Microsecond)
+
+	charged := FoldStacks(j.Events())
+	// 40µs before the restart; the backwards jump charges nothing and
+	// rebases; then 15µs (0→15) and 15µs (15→30) after it.
+	if got := charged["cluster:request"]; got != 70*time.Microsecond {
+		t.Fatalf("charged = %v, want 70µs", got)
+	}
+}
+
+func TestWriteProfileStableOutput(t *testing.T) {
+	j := NewJournal(0)
+	sc := j.NewScope("core", "invoke", 0)
+	sc.Begin("core", "execute", 5*time.Microsecond)
+	sc.End(9 * time.Microsecond)
+	sc.Close(10 * time.Microsecond)
+
+	var a, b bytes.Buffer
+	if err := WriteProfile(&a, j.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProfile(&b, j.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("profile output is not stable")
+	}
+	want := "core:invoke 6\ncore:invoke;core:execute 4\n"
+	if a.String() != want {
+		t.Fatalf("profile =\n%s\nwant\n%s", a.String(), want)
+	}
+}
+
+func TestFoldStacksSkipsTracelessEvents(t *testing.T) {
+	j := NewJournal(0)
+	j.Instant("faults", "vmm.boot", 5*time.Microsecond)
+	if charged := FoldStacks(j.Events()); len(charged) != 0 {
+		t.Fatalf("traceless events charged %v", charged)
+	}
+}

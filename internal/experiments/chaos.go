@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/platform"
 	"repro/internal/runtime"
@@ -52,6 +54,10 @@ type chaosOutcome struct {
 	crashes   int64
 	injected  int64
 	dump      string
+	// ndjson is the run's full event journal (the determinism witness);
+	// chrome is the same journal as Perfetto-loadable trace JSON.
+	ndjson []byte
+	chrome []byte
 }
 
 func (o *chaosOutcome) successRate() float64 {
@@ -123,6 +129,16 @@ func runChaosOnce(seed uint64, resilient bool) (*chaosOutcome, error) {
 		return nil, err
 	}
 	out.dump = sb.String()
+	evs := c.Journal().Events()
+	var nd, ch bytes.Buffer
+	if err := events.WriteNDJSON(&nd, evs); err != nil {
+		return nil, err
+	}
+	if err := events.WriteChromeTrace(&ch, evs); err != nil {
+		return nil, err
+	}
+	out.ndjson = nd.Bytes()
+	out.chrome = ch.Bytes()
 	return out, nil
 }
 
@@ -144,6 +160,7 @@ func RunChaos() (*Result, error) {
 		return nil, err
 	}
 	reproducible := resilient.dump == replay.dump
+	traceReproducible := bytes.Equal(resilient.ndjson, replay.ndjson)
 
 	res := &Result{ID: "chaos"}
 	row := func(mode string, o *chaosOutcome) []string {
@@ -191,6 +208,16 @@ func RunChaos() (*Result, error) {
 			Measured: map[bool]string{true: "identical", false: "DIVERGED"}[reproducible],
 			Pass:     reproducible,
 		},
+		Check{
+			Name:     "fixed seed reproduces the event journal",
+			Expected: "byte-identical NDJSON",
+			Measured: map[bool]string{true: "identical", false: "DIVERGED"}[traceReproducible],
+			Pass:     traceReproducible,
+		},
+	)
+	res.Artifacts = append(res.Artifacts,
+		Artifact{Name: "chaos-trace.json", Contents: resilient.chrome},
+		Artifact{Name: "chaos-trace.ndjson", Contents: resilient.ndjson},
 	)
 	return res, nil
 }

@@ -31,11 +31,20 @@ type Check struct {
 	Pass     bool
 }
 
+// Artifact is a file an experiment emits alongside its tables — e.g. a
+// Chrome trace of the run, loadable in Perfetto. fwbench writes each
+// one next to its report.
+type Artifact struct {
+	Name     string
+	Contents []byte
+}
+
 // Result is the output of one experiment.
 type Result struct {
-	ID     string
-	Tables []Table
-	Checks []Check
+	ID        string
+	Tables    []Table
+	Checks    []Check
+	Artifacts []Artifact
 }
 
 // MemoryReporter is implemented by platforms that expose the address
@@ -103,6 +112,12 @@ func (r *Result) Render() string {
 				status = "WARN"
 			}
 			fmt.Fprintf(&sb, "  [%s] %-42s paper: %-28s measured: %s\n", status, c.Name, c.Expected, c.Measured)
+		}
+	}
+	if len(r.Artifacts) > 0 {
+		sb.WriteString("Artifacts:\n")
+		for _, a := range r.Artifacts {
+			fmt.Fprintf(&sb, "  %s (%d bytes)\n", a.Name, len(a.Contents))
 		}
 	}
 	return sb.String()

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/vclock"
 )
@@ -221,6 +222,13 @@ func (p *Plane) Enqueue(site string, kinds ...Kind) {
 // and crash faults return a *Fault the operation must propagate.
 // A nil plane, or a site without profile or script, injects nothing.
 func (p *Plane) Inject(site string, clock *vclock.Clock) error {
+	return p.InjectTraced(site, clock, nil, 0)
+}
+
+// InjectTraced is Inject under an event scope: every injected fault
+// additionally emits a "faults" event at its site, timestamped with
+// the clock (or with `at` for clockless sites like the message bus).
+func (p *Plane) InjectTraced(site string, clock *vclock.Clock, sc *events.Scope, at time.Duration) error {
 	if p == nil {
 		return nil
 	}
@@ -235,9 +243,16 @@ func (p *Plane) Inject(site string, clock *vclock.Clock) error {
 	if kind == KindLatency {
 		if clock != nil {
 			clock.Advance(spike)
+			at = clock.Now()
 		}
+		sc.Instant("faults", site, at,
+			events.A("kind", string(kind)), events.A("spike", spike.String()))
 		return nil
 	}
+	if clock != nil {
+		at = clock.Now()
+	}
+	sc.Instant("faults", site, at, events.A("kind", string(kind)))
 	return &Fault{Site: site, Kind: kind}
 }
 

@@ -3,8 +3,10 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/vclock"
 )
@@ -114,7 +116,13 @@ func (r *Retrier) Enabled() bool {
 // Do runs op until it succeeds within the per-attempt deadline, fails
 // permanently, or the policy's attempts / budget run out.
 func (r *Retrier) Do(clock *vclock.Clock, op func() error) error {
-	return r.DoWithDiscard(clock, op, nil)
+	return r.DoWithDiscardTraced(clock, nil, "", op, nil)
+}
+
+// DoTraced is Do under an event scope: each retry (and the final
+// give-up) emits a "retry" event named label.
+func (r *Retrier) DoTraced(clock *vclock.Clock, sc *events.Scope, label string, op func() error) error {
+	return r.DoWithDiscardTraced(clock, sc, label, op, nil)
 }
 
 // DoWithDiscard is Do for operations whose success leaves a resource
@@ -122,6 +130,11 @@ func (r *Retrier) Do(clock *vclock.Clock, op func() error) error {
 // its result is unusable, and discard disposes of it before the retry
 // (stop the slow-restored VM, drop the stale image).
 func (r *Retrier) DoWithDiscard(clock *vclock.Clock, op func() error, discard func()) error {
+	return r.DoWithDiscardTraced(clock, nil, "", op, discard)
+}
+
+// DoWithDiscardTraced is DoWithDiscard under an event scope.
+func (r *Retrier) DoWithDiscardTraced(clock *vclock.Clock, sc *events.Scope, label string, op func() error, discard func()) error {
 	if !r.Enabled() {
 		return op()
 	}
@@ -148,16 +161,22 @@ func (r *Retrier) DoWithDiscard(clock *vclock.Clock, op func() error, discard fu
 		lastErr = err
 		if attempt >= r.policy.MaxAttempts {
 			r.exhausted.Inc()
+			sc.Instant("retry", label, clock.Now(),
+				events.A("outcome", "exhausted"), events.A("attempts", strconv.Itoa(attempt)))
 			return fmt.Errorf("faults: %d attempts failed: %w", attempt, lastErr)
 		}
 		backoff := r.backoff(attempt)
 		if r.policy.Budget > 0 && clock.Since(start)+backoff > r.policy.Budget {
 			r.exhausted.Inc()
+			sc.Instant("retry", label, clock.Now(),
+				events.A("outcome", "budget-exhausted"), events.A("attempts", strconv.Itoa(attempt)))
 			return fmt.Errorf("%w after %d attempts: %v", ErrRetryBudget, attempt, lastErr)
 		}
 		clock.Advance(backoff)
 		r.retries.Inc()
 		r.backoffH.ObserveDuration(backoff)
+		sc.Instant("retry", label, clock.Now(),
+			events.A("attempt", strconv.Itoa(attempt+1)), events.A("backoff", backoff.String()))
 	}
 }
 

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The metric inventory in docs/observability.md is load-bearing: it is
+// the contract operators read. These tests extract every metric name
+// registered in code and fail when one is missing from the doc table —
+// and flag doc rows whose metric no longer exists in code.
+
+// registrationPatterns match instrument registrations:
+//
+//	reg.Counter("name")                      reg.HistogramWith("name", ...)
+//	reg.Counter(metrics.Name("base", ...))   reg.Gauge(Name("base", ...))
+var registrationPatterns = []*regexp.Regexp{
+	regexp.MustCompile(`(?:Counter|Gauge|Histogram|HistogramWith)\(\s*(?:metrics\.)?Name\(\s*"([a-z0-9_]+)"`),
+	regexp.MustCompile(`(?:Counter|Gauge|Histogram|HistogramWith)\(\s*"([a-z0-9_]+)"`),
+}
+
+// docNamePattern matches one backticked metric name in an inventory
+// row's first cell: a base name with an optional label set.
+var docNamePattern = regexp.MustCompile("`([a-z0-9_]+)(?:\\{[a-z0-9_, ]*\\})?`")
+
+// repoRoot walks up from the test's working directory to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// registeredNames extracts every metric base name registered by
+// non-test Go sources under internal/ and cmd/.
+func registeredNames(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	for _, top := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(filepath.Join(root, top), func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, re := range registrationPatterns {
+				for _, m := range re.FindAllSubmatch(src, -1) {
+					names[string(m[1])] = true
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no metric registrations found — extraction regexes drifted from code style")
+	}
+	return names
+}
+
+// documentedNames extracts every metric base name from the inventory
+// table of docs/observability.md.
+func documentedNames(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(root, "docs", "observability.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	inTable := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		switch {
+		case strings.HasPrefix(line, "## Metric inventory"):
+			inTable = true
+			continue
+		case inTable && strings.HasPrefix(line, "## "):
+			inTable = false
+		}
+		if !inTable || !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 2 {
+			continue
+		}
+		for _, m := range docNamePattern.FindAllStringSubmatch(cells[1], -1) {
+			names[m[1]] = true
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no metric names found in docs/observability.md inventory table")
+	}
+	return names
+}
+
+// TestMetricInventoryComplete fails when code registers a metric the
+// doc inventory does not list.
+func TestMetricInventoryComplete(t *testing.T) {
+	root := repoRoot(t)
+	registered := registeredNames(t, root)
+	documented := documentedNames(t, root)
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("metric %q is registered in code but missing from docs/observability.md", name)
+		}
+	}
+}
+
+// TestMetricInventoryNotStale fails when the doc inventory lists a
+// metric no code registers anymore.
+func TestMetricInventoryNotStale(t *testing.T) {
+	root := repoRoot(t)
+	registered := registeredNames(t, root)
+	documented := documentedNames(t, root)
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("docs/observability.md lists %q but no code registers it (stale row)", name)
+		}
+	}
+}

@@ -80,6 +80,7 @@ type HistSnapshot struct {
 	P50     float64          `json:"p50"`
 	P90     float64          `json:"p90"`
 	P99     float64          `json:"p99"`
+	P999    float64          `json:"p999"`
 	Buckets []BucketSnapshot `json:"buckets"`
 }
 
@@ -136,6 +137,7 @@ func (h *Histogram) snapshot() HistSnapshot {
 		hs.P50 = stats.Percentile(h.samples, 50)
 		hs.P90 = stats.Percentile(h.samples, 90)
 		hs.P99 = stats.Percentile(h.samples, 99)
+		hs.P999 = stats.Percentile(h.samples, 99.9)
 	}
 	cum := uint64(0)
 	for i, n := range h.counts {
@@ -169,8 +171,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	}
 	for _, h := range s.Histograms {
 		fv := func(v float64) string { return formatValue(v, h.Unit) }
-		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%s min=%s p50=%s p90=%s p99=%s max=%s\n",
-			h.Name, h.Count, fv(h.Sum), fv(h.Min), fv(h.P50), fv(h.P90), fv(h.P99), fv(h.Max)); err != nil {
+		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%s min=%s p50=%s p90=%s p99=%s p99.9=%s max=%s\n",
+			h.Name, h.Count, fv(h.Sum), fv(h.Min), fv(h.P50), fv(h.P90), fv(h.P99), fv(h.P999), fv(h.Max)); err != nil {
 			return err
 		}
 		for _, b := range h.Buckets {

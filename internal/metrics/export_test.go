@@ -37,11 +37,11 @@ const goldenText = `# fireworks metrics snapshot (virtual time 1.5s)
 counter cluster_node_invocations_total{node="node-00"} 7
 counter mem_cow_faults_total 4
 gauge msgbus_queue_depth 2
-histogram queue_batch_size count=2 sum=6 min=1 p50=3 p90=4.6 p99=4.96 max=5
+histogram queue_batch_size count=2 sum=6 min=1 p50=3 p90=4.6 p99=4.96 p99.9=4.996 max=5
   bucket le=1 1
   bucket le=8 2
   bucket le=+Inf 2
-histogram snapshot_restore_duration count=3 sum=276ms min=12ms p50=14ms p90=202.8ms p99=245.28ms max=250ms
+histogram snapshot_restore_duration count=3 sum=276ms min=12ms p50=14ms p90=202.8ms p99=245.28ms p99.9=249.528ms max=250ms
   bucket le=10ms 0
   bucket le=100ms 2
   bucket le=+Inf 3

@@ -12,9 +12,11 @@ package msgbus
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 )
@@ -38,6 +40,10 @@ type Message struct {
 	// was set, so dwell time is only measured for stamped records.
 	ProducedAt time.Duration
 	stamped    bool
+	// Produced is the journal reference of the producer's "produce"
+	// event (zero when the producer was untraced). A traced consume
+	// links its event back to it — the causal produce→consume edge.
+	Produced events.Ref
 }
 
 // Broker is an in-process message bus. It is safe for concurrent use.
@@ -180,18 +186,25 @@ func (t *topic) partitionFor(key string) *partition {
 
 // Produce appends a record and returns its partition and offset.
 func (b *Broker) Produce(topicName, key string, value []byte) (partitionID int, offset int64, err error) {
-	return b.produce(topicName, key, value, 0, false)
+	return b.produce(topicName, key, value, 0, false, nil)
 }
 
 // ProduceAt is Produce with the producer's virtual-clock position; the
 // record is stamped so a later stamped consume can measure queue dwell
 // on the same clock.
 func (b *Broker) ProduceAt(topicName, key string, value []byte, at time.Duration) (partitionID int, offset int64, err error) {
-	return b.produce(topicName, key, value, at, true)
+	return b.produce(topicName, key, value, at, true, nil)
 }
 
-func (b *Broker) produce(topicName, key string, value []byte, at time.Duration, stamped bool) (partitionID int, offset int64, err error) {
-	if err := b.faults.Inject(faults.SiteBusProduce, nil); err != nil {
+// ProduceTracedAt is ProduceAt under an event scope: the append emits a
+// "produce" event and the record carries the event's journal reference,
+// so the eventual consumer's event links back to this produce.
+func (b *Broker) ProduceTracedAt(topicName, key string, value []byte, at time.Duration, sc *events.Scope) (partitionID int, offset int64, err error) {
+	return b.produce(topicName, key, value, at, true, sc)
+}
+
+func (b *Broker) produce(topicName, key string, value []byte, at time.Duration, stamped bool, sc *events.Scope) (partitionID int, offset int64, err error) {
+	if err := b.faults.InjectTraced(faults.SiteBusProduce, nil, sc, at); err != nil {
 		return 0, 0, fmt.Errorf("msgbus: produce to %q: %w", topicName, err)
 	}
 	t, err := b.topic(topicName)
@@ -208,6 +221,8 @@ func (b *Broker) produce(topicName, key string, value []byte, at time.Duration, 
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	offset = int64(len(p.records))
+	ref := sc.Instant("msgbus", "produce", at,
+		events.A("topic", topicName), events.A("offset", strconv.FormatInt(offset, 10)))
 	p.records = append(p.records, Message{
 		Topic:      topicName,
 		Partition:  partitionID,
@@ -216,6 +231,7 @@ func (b *Broker) produce(topicName, key string, value []byte, at time.Duration, 
 		Value:      append([]byte(nil), value...),
 		ProducedAt: at,
 		stamped:    stamped,
+		Produced:   ref,
 	})
 	b.produced.Inc()
 	b.depth.Add(1)
@@ -245,7 +261,11 @@ func (b *Broker) ConsumeAt(topicName string, partitionID int, offset int64) (Mes
 // semantics of `kafkacat -C -o -1 -c 1`. It returns ErrEmpty when the
 // partition has no records.
 func (b *Broker) ConsumeLatest(topicName string) (Message, error) {
-	if err := b.faults.Inject(faults.SiteBusConsume, nil); err != nil {
+	return b.consumeLatest(topicName, 0, nil)
+}
+
+func (b *Broker) consumeLatest(topicName string, at time.Duration, sc *events.Scope) (Message, error) {
+	if err := b.faults.InjectTraced(faults.SiteBusConsume, nil, sc, at); err != nil {
 		return Message{}, fmt.Errorf("msgbus: consume from %q: %w", topicName, err)
 	}
 	t, err := b.topic(topicName)
@@ -266,13 +286,22 @@ func (b *Broker) ConsumeLatest(topicName string) (Message, error) {
 // position. When the returned record was produced with ProduceAt on
 // the same clock, the elapsed queue dwell is recorded.
 func (b *Broker) ConsumeLatestAt(topicName string, at time.Duration) (Message, error) {
-	msg, err := b.ConsumeLatest(topicName)
+	return b.ConsumeLatestTracedAt(topicName, at, nil)
+}
+
+// ConsumeLatestTracedAt is ConsumeLatestAt under an event scope: the
+// read emits a "consume" event causally linked to the record's
+// "produce" event (when the producer was traced).
+func (b *Broker) ConsumeLatestTracedAt(topicName string, at time.Duration, sc *events.Scope) (Message, error) {
+	msg, err := b.consumeLatest(topicName, at, sc)
 	if err != nil {
 		return msg, err
 	}
 	if msg.stamped && at >= msg.ProducedAt {
 		b.dwell.ObserveDuration(at - msg.ProducedAt)
 	}
+	sc.InstantLinked("msgbus", "consume", at, msg.Produced,
+		events.A("topic", topicName), events.A("offset", strconv.FormatInt(msg.Offset, 10)))
 	return msg, nil
 }
 

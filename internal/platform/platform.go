@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/couchdb"
+	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/lang"
 	"repro/internal/mem"
@@ -100,6 +101,9 @@ type Invocation struct {
 	SandboxID string
 	// Mode records which start path actually ran (cold/warm).
 	Mode StartMode
+	// Trace is the invocation's handle into the event journal. Nil when
+	// the deployment records no events; every emission site is nil-safe.
+	Trace *events.Scope
 }
 
 // NewInvocation returns a fresh accounting context.
@@ -128,6 +132,23 @@ func (inv *Invocation) ChargeOther(label string, d time.Duration) {
 // Total returns the end-to-end latency recorded so far.
 func (inv *Invocation) Total() time.Duration { return inv.Breakdown.Total() }
 
+// StartSpan opens a paired span: one on the breakdown (per-invocation
+// view) and one in the event journal (fleet-wide view), joined by
+// stamping the journal SpanID onto the breakdown span. Close it with
+// FinishSpan.
+func (inv *Invocation) StartSpan(component, name string, p trace.Phase, attrs ...events.Attr) *trace.Span {
+	s := inv.Breakdown.BeginSpan(name, p, inv.Clock.Now())
+	inv.Trace.Begin(component, name, inv.Clock.Now(), attrs...)
+	s.ID = uint64(inv.Trace.Current().Span)
+	return s
+}
+
+// FinishSpan closes the innermost span pair opened by StartSpan.
+func (inv *Invocation) FinishSpan(attrs ...events.Attr) {
+	inv.Breakdown.EndSpan(inv.Clock.Now())
+	inv.Trace.End(inv.Clock.Now(), attrs...)
+}
+
 // InvokeOptions tunes one Invoke call.
 type InvokeOptions struct {
 	Mode StartMode
@@ -138,6 +159,10 @@ type InvokeOptions struct {
 	// Platforms with a keep-alive policy use it to expire idle warm
 	// sandboxes; zero means untimed.
 	At time.Duration
+	// Trace, when set, is the request's already-open event scope (a
+	// gateway or cluster layer opened the trace); the platform nests its
+	// spans under it instead of opening a trace of its own.
+	Trace *events.Scope
 }
 
 // Platform is the interface every evaluated system implements.
@@ -195,6 +220,9 @@ type Env struct {
 	// Faults is the fault-injection plane armed on this host's
 	// components (nil when the host runs fault-free).
 	Faults *faults.Plane
+	// Events is the host's causal event journal. Always non-nil from
+	// NewEnv; in a cluster one shared journal spans every node.
+	Events *events.Journal
 }
 
 // EnvConfig sizes an Env.
@@ -222,6 +250,10 @@ type EnvConfig struct {
 	// plane to every node so the fleet-wide fault schedule is a single
 	// seeded sequence.
 	Faults *faults.Plane
+	// Events, when non-nil, is the journal this host records into — a
+	// cluster passes one shared journal to every node so a request's
+	// trace survives failover hops. Nil creates a private journal.
+	Events *events.Journal
 }
 
 // NewEnv creates a host environment.
@@ -239,6 +271,10 @@ func NewEnv(cfg EnvConfig) *Env {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	journal := cfg.Events
+	if journal == nil {
+		journal = events.NewJournal(0)
+	}
 	host := mem.NewHost(cfg.MemBytes, cfg.Swappiness)
 	router := netsim.NewRouter(cfg.ExternalIPPool)
 	env := &Env{
@@ -249,7 +285,9 @@ func NewEnv(cfg EnvConfig) *Env {
 		Couch:   couchdb.NewServer(),
 		Snaps:   snapshot.NewStore(cfg.SnapshotDiskBudget),
 		Metrics: reg,
+		Events:  journal,
 	}
+	journal.Instrument(reg)
 	host.Instrument(reg)
 	env.HV.Instrument(reg)
 	env.Bus.Instrument(reg)

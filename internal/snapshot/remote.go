@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/vclock"
@@ -85,21 +86,34 @@ func NewRemote() *Remote {
 
 // Upload stores an image remotely, charging transfer time to clock.
 func (r *Remote) Upload(name string, snap *vmm.Snapshot, clock *vclock.Clock) {
+	r.UploadTraced(name, snap, clock, nil)
+}
+
+// UploadTraced is Upload under an event scope.
+func (r *Remote) UploadTraced(name string, snap *vmm.Snapshot, clock *vclock.Clock, sc *events.Scope) {
 	clock.Advance(CostRemoteUploadBase + transferCost(snap.TotalBytes()))
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.objects[name] = snap
 	r.uploads++
 	r.uploadCtr.Inc()
 	r.xferBytes.Observe(float64(snap.TotalBytes()))
+	r.mu.Unlock()
+	sc.Instant("snapshot", "remote-upload", clock.Now(), events.A("image", name))
 }
 
 // Fetch retrieves an image, charging transfer time to clock.
 func (r *Remote) Fetch(name string, clock *vclock.Clock) (*vmm.Snapshot, error) {
+	return r.FetchTraced(name, clock, nil)
+}
+
+// FetchTraced is Fetch under an event scope: the transfer emits a
+// "snapshot" event (and any injected fault emits its own at the
+// remote-fetch site).
+func (r *Remote) FetchTraced(name string, clock *vclock.Clock, sc *events.Scope) (*vmm.Snapshot, error) {
 	r.mu.Lock()
 	injector := r.injector
 	r.mu.Unlock()
-	if err := injector.Inject(faults.SiteRemoteFetch, clock); err != nil {
+	if err := injector.InjectTraced(faults.SiteRemoteFetch, clock, sc, 0); err != nil {
 		return nil, fmt.Errorf("snapshot: remote fetch of %q: %w", name, err)
 	}
 	r.mu.Lock()
@@ -116,6 +130,7 @@ func (r *Remote) Fetch(name string, clock *vclock.Clock) (*vmm.Snapshot, error) 
 	r.mu.Lock()
 	r.xferBytes.Observe(float64(snap.TotalBytes()))
 	r.mu.Unlock()
+	sc.Instant("snapshot", "remote-fetch", clock.Now(), events.A("image", name))
 	return snap, nil
 }
 

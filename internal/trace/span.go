@@ -22,6 +22,10 @@ type Span struct {
 	// span is open.
 	Start time.Duration
 	End   time.Duration
+	// ID, when non-zero, is the journal SpanID of the matching
+	// internal/events span, keeping the per-invocation breakdown view
+	// and the fleet-wide journal view joinable.
+	ID uint64
 
 	children []*Span
 }
@@ -106,7 +110,7 @@ func renderSpan(sb *strings.Builder, s *Span, depth int) {
 
 // cloneSpan deep-copies a span tree.
 func cloneSpan(s *Span) *Span {
-	c := &Span{Name: s.Name, Phase: s.Phase, Start: s.Start, End: s.End}
+	c := &Span{Name: s.Name, Phase: s.Phase, Start: s.Start, End: s.End, ID: s.ID}
 	for _, child := range s.children {
 		c.children = append(c.children, cloneSpan(child))
 	}

@@ -113,3 +113,99 @@ func TestCloneAndMergeCopySpans(t *testing.T) {
 		t.Fatal("merge did not deep-copy spans")
 	}
 }
+
+func TestCloneWithOpenSpans(t *testing.T) {
+	var b Breakdown
+	b.BeginSpan("outer", PhaseStartup, 0)
+	b.BeginSpan("inner", PhaseStartup, time.Millisecond)
+
+	c := b.Clone()
+	// The clone holds a deep copy of the open tree; the spans stay open
+	// in the copy.
+	if len(c.Spans()) != 1 || c.Spans()[0].End != -1 {
+		t.Fatalf("cloned root = %+v", c.Spans()[0])
+	}
+	inner := c.Spans()[0].Children()
+	if len(inner) != 1 || inner[0].End != -1 {
+		t.Fatalf("cloned children = %v", inner)
+	}
+
+	// Ending the originals must not close the clone's copies — and the
+	// clone has no open-span stack, so EndSpan on it panics rather than
+	// silently closing a span it never began.
+	b.EndSpan(2 * time.Millisecond)
+	b.EndSpan(3 * time.Millisecond)
+	if c.Spans()[0].End != -1 || inner[0].End != -1 {
+		t.Fatal("ending original spans closed the clone's copies")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndSpan on a clone with no open stack did not panic")
+		}
+	}()
+	c.EndSpan(4 * time.Millisecond)
+}
+
+func TestMergeWithOpenSpans(t *testing.T) {
+	var donor Breakdown
+	donor.BeginSpan("still-open", PhaseExec, time.Millisecond)
+
+	var b Breakdown
+	b.BeginSpan("mine", PhaseStartup, 0)
+	b.Merge(&donor)
+
+	// The merged root arrives open, appended after b's own roots, and
+	// stays independent of the donor.
+	roots := b.Spans()
+	if len(roots) != 2 || roots[1].Name != "still-open" || roots[1].End != -1 {
+		t.Fatalf("merged roots = %v", roots)
+	}
+	if roots[1] == donor.Spans()[0] {
+		t.Fatal("merge aliased the donor's open span")
+	}
+	donor.EndSpan(5 * time.Millisecond)
+	if roots[1].End != -1 {
+		t.Fatal("closing the donor span closed the merged copy")
+	}
+	// b's own open stack is untouched by the merge: the next EndSpan
+	// closes "mine", not the merged root.
+	if closed := b.EndSpan(7 * time.Millisecond); closed.Name != "mine" {
+		t.Fatalf("EndSpan closed %q, want mine", closed.Name)
+	}
+}
+
+func TestSpanIDSurvivesCloneAndMerge(t *testing.T) {
+	var b Breakdown
+	s := b.BeginSpan("exec", PhaseExec, 0)
+	s.ID = 42
+	b.EndSpan(time.Millisecond)
+
+	if got := b.Clone().Spans()[0].ID; got != 42 {
+		t.Fatalf("cloned span ID = %d", got)
+	}
+	var m Breakdown
+	m.Merge(&b)
+	if got := m.Spans()[0].ID; got != 42 {
+		t.Fatalf("merged span ID = %d", got)
+	}
+}
+
+func TestRenderSpansGolden(t *testing.T) {
+	var b Breakdown
+	b.BeginSpan("startup", PhaseStartup, 0)
+	b.BeginSpan("vm-restore", PhaseStartup, time.Millisecond)
+	b.EndSpan(12 * time.Millisecond)
+	b.BeginSpan("netns-setup", PhaseStartup, 12*time.Millisecond)
+	b.EndSpan(13 * time.Millisecond)
+	b.EndSpan(14 * time.Millisecond)
+	b.BeginSpan("exec", PhaseExec, 14*time.Millisecond)
+	// exec left open: renders with end "?" and no duration.
+
+	want := "startup [start-up] 0s..14ms (14ms)\n" +
+		"  vm-restore [start-up] 1ms..12ms (11ms)\n" +
+		"  netns-setup [start-up] 12ms..13ms (1ms)\n" +
+		"exec [exec] 14ms..?\n"
+	if got := b.RenderSpans(); got != want {
+		t.Fatalf("render = %q, want %q", got, want)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/fs"
 	"repro/internal/mem"
@@ -161,7 +162,14 @@ type RestoreOptions struct {
 // (fixed + working-set page faults) is charged to clock. The caller is
 // responsible for network setup and for reviving the guest state.
 func (h *Hypervisor) Restore(snap *Snapshot, opts RestoreOptions, clock *vclock.Clock) (*MicroVM, error) {
-	if err := h.faults.Inject(faults.SiteVMMRestore, clock); err != nil {
+	return h.RestoreTraced(snap, opts, clock, nil)
+}
+
+// RestoreTraced is Restore under an event scope: the restore emits a
+// "vmm" event carrying the new VM's identity (and any injected fault
+// emits its own at the restore site).
+func (h *Hypervisor) RestoreTraced(snap *Snapshot, opts RestoreOptions, clock *vclock.Clock, sc *events.Scope) (*MicroVM, error) {
+	if err := h.faults.InjectTraced(faults.SiteVMMRestore, clock, sc, 0); err != nil {
 		return nil, fmt.Errorf("vmm: restore of %s: %w", snap.ID, err)
 	}
 	h.mu.Lock()
@@ -204,6 +212,8 @@ func (h *Hypervisor) Restore(snap *Snapshot, opts RestoreOptions, clock *vclock.
 	h.vms[id] = v
 	h.mu.Unlock()
 	h.liveVMs.Add(1)
+	sc.Instant("vmm", "restore", clock.Now(),
+		events.A("vm", id), events.A("snapshot", snap.ID))
 	return v, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/fs"
 	"repro/internal/mem"
@@ -188,10 +189,16 @@ func (h *Hypervisor) CreateVM(cfg Config, clock *vclock.Clock) (*MicroVM, error)
 // BootKernel boots the guest kernel in a freshly created VM (the cold
 // path), charging boot time and allocating the kernel's private pages.
 func (v *MicroVM) BootKernel(clock *vclock.Clock) error {
+	return v.BootKernelTraced(clock, nil)
+}
+
+// BootKernelTraced is BootKernel under an event scope: the boot emits a
+// "vmm" event (and any injected fault emits its own at the boot site).
+func (v *MicroVM) BootKernelTraced(clock *vclock.Clock, sc *events.Scope) error {
 	if v.state != StateCreated {
 		return fmt.Errorf("%w: boot in %s", ErrBadState, v.state)
 	}
-	if err := v.hv.faults.Inject(faults.SiteVMMBoot, clock); err != nil {
+	if err := v.hv.faults.InjectTraced(faults.SiteVMMBoot, clock, sc, 0); err != nil {
 		return fmt.Errorf("vmm: boot of %s: %w", v.ID, err)
 	}
 	clock.Advance(CostKernelBoot)
@@ -200,6 +207,7 @@ func (v *MicroVM) BootKernel(clock *vclock.Clock) error {
 	v.space.AllocPrivate(mem.KindKernel, mem.PagesFor(CostKernelBytes))
 	v.booted = true
 	v.state = StateRunning
+	sc.Instant("vmm", "boot", clock.Now(), events.A("vm", v.ID))
 	return nil
 }
 
@@ -224,12 +232,18 @@ func (v *MicroVM) Pause() error {
 
 // ResumeWarm resumes a paused VM, charging the warm-start cost.
 func (v *MicroVM) ResumeWarm(clock *vclock.Clock) error {
+	return v.ResumeWarmTraced(clock, nil)
+}
+
+// ResumeWarmTraced is ResumeWarm under an event scope.
+func (v *MicroVM) ResumeWarmTraced(clock *vclock.Clock, sc *events.Scope) error {
 	if v.state != StatePaused {
 		return fmt.Errorf("%w: warm resume in %s", ErrBadState, v.state)
 	}
 	clock.Advance(CostWarmResume)
 	v.state = StateRunning
 	v.hv.warmResumes.Inc()
+	sc.Instant("vmm", "warm-resume", clock.Now(), events.A("vm", v.ID))
 	return nil
 }
 
