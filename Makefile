@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race trace-demo
+.PHONY: check vet build test race trace-demo mem-demo
 
 # check is the tier-1 gate: everything must pass before a merge.
 check: vet build test race
@@ -16,10 +16,11 @@ test:
 
 # The concurrency-bearing subsystems — the cluster scheduler, the
 # metrics registry, the shared lifecycle pool, the Fireworks invoke
-# pipeline, the fault-injection plane, and the event journal —
-# additionally run under the race detector.
+# pipeline, the fault-injection plane, the event journal, the host
+# memory accountant, and the telemetry sampler/watchdog — additionally
+# run under the race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/... ./internal/events/...
+	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/... ./internal/events/... ./internal/mem/... ./internal/timeseries/...
 
 # trace-demo runs a faulted fwsim demo, dumps its event journal as
 # Chrome trace-event JSON, and sanity-checks that the dump parses and
@@ -28,3 +29,13 @@ trace-demo:
 	$(GO) run ./cmd/fwsim -metrics text -nodes 3 -invocations 12 -faults seed=7,rate=0.05 -trace-dump trace-demo.json > /dev/null
 	$(GO) run ./cmd/tracecheck trace-demo.json
 	rm -f trace-demo.json
+
+# mem-demo runs the memory-timeline experiment (Fig-10 methodology on a
+# scaled host), writes its CSV artifacts, and sanity-checks them with
+# cmd/memcheck: header shape, the mem_used_bytes series, and strictly
+# advancing virtual timestamps.
+mem-demo:
+	mkdir -p mem-demo-artifacts
+	$(GO) run ./cmd/fwbench -run memtl -artifacts mem-demo-artifacts
+	$(GO) run ./cmd/memcheck mem-demo-artifacts/memory-timeline-fireworks.csv
+	$(GO) run ./cmd/memcheck mem-demo-artifacts/memory-timeline-firecracker.csv

@@ -10,7 +10,15 @@
 //	fwcli -builtin faas-fact-python -platform firecracker -mode cold
 //	fwcli -builtin faas-fact-python -repeat 5 -metrics text
 //	fwcli -builtin faas-fact-python -trace-dump trace.json -profile
+//	fwcli -builtin faas-fact-python -repeat 5 -watch
 //	fwcli -list-builtins
+//
+// With -watch each invocation additionally prints a one-line memory
+// telemetry sample (host resident bytes, CoW faults so far, live VMs,
+// sharing efficiency) on the run's virtual timeline, and the run ends
+// with the smem-style per-VM memory report plus the snapshot page
+// lineage (see docs/memory.md). -timeseries-dump writes the sampled
+// series as CSV for offline plotting.
 package main
 
 import (
@@ -23,6 +31,8 @@ import (
 	"repro/internal/events"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
+	"repro/internal/timeseries"
+	"repro/internal/vclock"
 	"repro/internal/workloads"
 )
 
@@ -40,6 +50,8 @@ func main() {
 	metricsFmt := flag.String("metrics", "", `dump the host metrics snapshot after the run ("text" or "json")`)
 	traceDump := flag.String("trace-dump", "", `write the run's event journal to this file (Chrome trace-event JSON for *.json, NDJSON otherwise)`)
 	profile := flag.Bool("profile", false, "fold the run's event journal into virtual-time flame-stack lines on stderr")
+	watch := flag.Bool("watch", false, "print a memory-telemetry line per invocation and the smem-style memory report after the run")
+	tsDump := flag.String("timeseries-dump", "", "write the run's sampled telemetry series to this file as CSV")
 	flag.Parse()
 
 	if *listBuiltins {
@@ -77,6 +89,22 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("params: %w", err))
 	}
+	// The watch timeline: one sample per invocation, advanced by each
+	// request's virtual latency, so the dumped series is a pure function
+	// of the workload.
+	var sampler *timeseries.Sampler
+	timeline := vclock.New()
+	if *watch || *tsDump != "" {
+		sampler = timeseries.NewSampler(env.Metrics, timeseries.DefaultCapacity)
+		sampler.AddProbe("mem_sharing_efficiency", func() float64 {
+			rep := env.Mem.Report()
+			if rep.UsedBytes == 0 {
+				return 1
+			}
+			return float64(rep.RSSSumBytes) / float64(rep.UsedBytes)
+		})
+		sampler.Sample(0)
+	}
 	for i := 0; i < *repeat; i++ {
 		inv, err := p.Invoke(fn.Name, paramValue, platform.InvokeOptions{Mode: startMode})
 		if err != nil {
@@ -85,6 +113,18 @@ func main() {
 		fmt.Printf("#%d [%s] start-up=%v exec=%v others=%v total=%v\n",
 			i+1, inv.Mode, inv.Breakdown.Startup(), inv.Breakdown.Exec(),
 			inv.Breakdown.Others(), inv.Breakdown.Total())
+		if sampler != nil {
+			now := timeline.Advance(inv.Breakdown.Total())
+			sampler.Sample(now)
+			if *watch {
+				rep := env.Mem.Report()
+				fmt.Printf("   mem: used=%.1fMiB pss-sum=%.1fMiB cow-faults=%s live-vms=%s sharing=%.2f swapping=%v\n",
+					float64(rep.UsedBytes)/(1<<20), rep.PSSSumBytes/(1<<20),
+					lastValue(sampler, "mem_cow_faults_total"),
+					lastValue(sampler, "vmm_live_vms"),
+					rep.SharingEfficiency, rep.Swapping)
+			}
+		}
 		if inv.Response != nil {
 			fmt.Printf("   HTTP %d: %s\n", inv.Response.Status, inv.Response.Body)
 		}
@@ -95,6 +135,15 @@ func main() {
 			for _, ev := range inv.Breakdown.Events() {
 				fmt.Printf("   %-10s %-18s %v\n", ev.Phase, ev.Label, ev.Cost)
 			}
+		}
+	}
+	if *watch {
+		fmt.Println()
+		env.Mem.Report().WriteText(os.Stdout)
+	}
+	if *tsDump != "" {
+		if err := dumpTimeseries(*tsDump, sampler); err != nil {
+			fatal(err)
 		}
 	}
 	if *metricsFmt != "" {
@@ -112,6 +161,28 @@ func main() {
 			fatal(fmt.Errorf("-profile: %w", err))
 		}
 	}
+}
+
+// lastValue renders a series' newest sample for the -watch line.
+func lastValue(s *timeseries.Sampler, name string) string {
+	p, ok := s.Last(name)
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", p.Value)
+}
+
+// dumpTimeseries writes the run's sampled series to path as CSV.
+func dumpTimeseries(path string, s *timeseries.Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-timeseries-dump: %w", err)
+	}
+	if err := s.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("-timeseries-dump: %w", err)
+	}
+	return f.Close()
 }
 
 // dumpJournal writes the host's event journal to path: Chrome

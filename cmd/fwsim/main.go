@@ -25,6 +25,14 @@
 //	curl -s localhost:8080/metrics
 //	curl -s 'localhost:8080/metrics?format=json'
 //
+//	# telemetry: per-request virtual-time series, the smem-style fleet
+//	# memory report, and the SLO watchdog's alert state
+//	curl -s localhost:8080/timeseries > series.csv
+//	curl -s 'localhost:8080/timeseries?format=json'
+//	curl -s localhost:8080/memory
+//	curl -s 'localhost:8080/memory?format=json'
+//	curl -s localhost:8080/alerts
+//
 //	# pull one request's trace, or the whole journal
 //	curl -s localhost:8080/trace/1
 //	curl -s 'localhost:8080/events?format=chrome' > trace.json  # open in Perfetto
@@ -72,11 +80,22 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
+	"repro/internal/timeseries"
+	"repro/internal/vclock"
 	"repro/internal/workloads"
 )
 
 type server struct {
 	c *cluster.Cluster
+
+	// timeline is the gateway's own virtual clock: each invocation
+	// advances it by the request's virtual latency, giving the telemetry
+	// layer a monotonic fleet timeline to sample on.
+	timeline *vclock.Clock
+	sampler  *timeseries.Sampler
+	watchdog *timeseries.Watchdog
+	requests *metrics.Counter
+	failures *metrics.Counter
 
 	mu       sync.Mutex
 	installs map[string]*platform.InstallReport
@@ -107,7 +126,80 @@ func newServer(nodes int, chaos *faultsConfig) *server {
 	if chaos != nil {
 		c.SetFailover(cluster.FailoverPolicy{MaxFailovers: 2})
 	}
-	return &server{c: c, installs: make(map[string]*platform.InstallReport)}
+	s := &server{
+		c:        c,
+		timeline: vclock.New(),
+		installs: make(map[string]*platform.InstallReport),
+		requests: c.Metrics().Counter("gateway_requests_total"),
+		failures: c.Metrics().Counter("gateway_failures_total"),
+	}
+	s.sampler = timeseries.NewSampler(c.Metrics(), timeseries.DefaultCapacity)
+	s.sampler.AddProbe("fleet_down_nodes", func() float64 {
+		return float64(platform.DeriveFleetHealth(c.Metrics().Snapshot()).Down)
+	})
+	s.sampler.AddProbe("mem_sharing_efficiency", func() float64 { return s.sharingEfficiency() })
+	s.watchdog = timeseries.NewWatchdog(s.sampler, c.Journal(), c.Metrics())
+	s.watchdog.AddRule(timeseries.Rule{
+		Name:      "invoke-success-rate",
+		Ratio:     &timeseries.RatioSource{Num: "gateway_failures_total", Den: "gateway_requests_total", Complement: true, MinDen: 20},
+		Op:        timeseries.AtLeast,
+		Threshold: 0.99,
+	})
+	s.watchdog.AddRule(timeseries.Rule{
+		Name:      "invoke-p99-latency",
+		Value:     &timeseries.ValueSource{Series: metrics.Name("invoke_latency", "platform", "fireworks") + ".p99"},
+		Op:        timeseries.AtMost,
+		Threshold: float64(2 * time.Second),
+	})
+	s.watchdog.AddRule(timeseries.Rule{
+		Name:      "fleet-availability",
+		Value:     &timeseries.ValueSource{Series: "fleet_down_nodes"},
+		Op:        timeseries.AtMost,
+		Threshold: 0,
+	})
+	s.watchdog.AddRule(timeseries.Rule{
+		Name:      "sharing-efficiency",
+		Value:     &timeseries.ValueSource{Series: "mem_sharing_efficiency"},
+		Op:        timeseries.AtLeast,
+		Threshold: 1,
+	})
+	// The zero-time baseline sample anchors every burn-rate delta.
+	s.sampler.Sample(0)
+	return s
+}
+
+// sharingEfficiency is the fleet-wide RSS-to-resident ratio: how many
+// bytes the VMs think they have mapped per byte the hosts actually
+// hold. >1 means snapshot pages are being shared (docs/memory.md);
+// with no resident memory it is neutrally 1.
+func (s *server) sharingEfficiency() float64 {
+	var rss, used float64
+	for _, n := range s.c.Nodes() {
+		rep := n.Env.Mem.Report()
+		rss += float64(rep.RSSSumBytes)
+		used += float64(rep.UsedBytes)
+	}
+	if used == 0 {
+		return 1
+	}
+	return rss / used
+}
+
+// observe folds one finished gateway request into the telemetry layer:
+// the timeline advances by the request's virtual latency, the sampler
+// snapshots the registry at the new time, and the watchdog evaluates
+// every SLO rule there.
+func (s *server) observe(latency time.Duration, failed bool) {
+	s.requests.Inc()
+	if failed {
+		s.failures.Inc()
+	}
+	if latency <= 0 {
+		latency = time.Microsecond // failures still move the timeline
+	}
+	now := s.timeline.Advance(latency)
+	s.sampler.Sample(now)
+	s.watchdog.Evaluate(now)
 }
 
 func main() {
@@ -200,6 +292,9 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /timeseries", s.handleTimeseries)
+	mux.HandleFunc("GET /memory", s.handleMemory)
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
 	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("DELETE /functions/{name}", s.handleRemove)
@@ -375,6 +470,7 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		sc.Close(end, events.A("error", err.Error()))
+		s.observe(end, true)
 		writeJSON(w, http.StatusBadGateway, map[string]any{
 			"error":    err.Error(),
 			"trace_id": uint64(sc.TraceID()),
@@ -382,6 +478,7 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sc.Close(end)
+	s.observe(inv.Breakdown.Total(), false)
 	resultJSON, err := rt.EncodeJSON(inv.Result)
 	if err != nil {
 		resultJSON = []byte("null")
@@ -462,43 +559,77 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// healthzPayload folds a metrics snapshot's node_state gauges into the
-// /healthz response: per-node health plus an overall status, 503 only
-// when every node is down (the cluster can absorb anything less).
-func healthzPayload(snap metrics.Snapshot) (int, map[string]any) {
-	nodes := map[string]string{}
-	total, down := 0, 0
-	for _, g := range snap.Gauges {
-		name, ok := strings.CutPrefix(g.Name, `node_state{node="`)
-		if !ok {
-			continue
-		}
-		name, ok = strings.CutSuffix(name, `"}`)
-		if !ok {
-			continue
-		}
-		total++
-		h := cluster.Health(g.Value)
-		if h == cluster.Down {
-			down++
-		}
-		nodes[name] = h.String()
-	}
-	status := "ok"
+// handleHealthz serves the fleet availability view. The derivation is
+// platform.DeriveFleetHealth — the same helper the SLO watchdog's
+// fleet_down_nodes probe samples — so the dashboard and the alerting
+// path can never disagree; 503 only when every node is down (the
+// cluster absorbs anything less).
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	f := platform.DeriveFleetHealth(s.c.Metrics().Snapshot())
 	code := http.StatusOK
-	switch {
-	case total > 0 && down == total:
-		status = "down"
+	if f.AllDown() {
 		code = http.StatusServiceUnavailable
-	case down > 0:
-		status = "degraded"
 	}
-	return code, map[string]any{"status": status, "nodes": nodes}
+	writeJSON(w, code, map[string]any{"status": f.Status, "nodes": f.Nodes})
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	code, payload := healthzPayload(s.c.Metrics().Snapshot())
-	writeJSON(w, code, payload)
+// handleTimeseries dumps the gateway sampler's full history: every
+// registry counter/gauge (plus histogram count/p50/p99 derivatives and
+// the fleet probes) sampled once per completed request on the virtual
+// timeline. CSV by default, ?format=json for the JSON shape.
+func (s *server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	format := "csv"
+	contentType := "text/csv; charset=utf-8"
+	if r.URL.Query().Get("format") == "json" {
+		format = "json"
+		contentType = "application/json"
+	}
+	w.Header().Set("Content-Type", contentType)
+	_ = s.sampler.WriteFormat(w, format)
+}
+
+// handleMemory serves the smem-style fleet memory report: per node, a
+// per-VM RSS/PSS/USS table plus the snapshot page-lineage table
+// (docs/memory.md). ?format=json returns the structured reports.
+func (s *server) handleMemory(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		out := make([]map[string]any, 0, len(s.c.Nodes()))
+		for _, n := range s.c.Nodes() {
+			out = append(out, map[string]any{"node": n.Name, "report": n.Env.Mem.Report()})
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, n := range s.c.Nodes() {
+		fmt.Fprintf(w, "### %s\n", n.Name)
+		n.Env.Mem.Report().WriteText(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// handleAlerts serves the SLO watchdog state: every alert fired so far
+// (each carrying the journal ref of its alert instant and the causal
+// link GET /trace/{id} resolves), the rules currently in violation,
+// and the declared contracts.
+func (s *server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	rules := make([]string, 0)
+	for _, rule := range s.watchdog.Rules() {
+		rules = append(rules, rule.String())
+	}
+	firing := s.watchdog.Firing()
+	if firing == nil {
+		firing = []string{}
+	}
+	alerts := s.watchdog.Alerts()
+	if alerts == nil {
+		alerts = []timeseries.Alert{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rules":  rules,
+		"firing": firing,
+		"alerts": alerts,
+	})
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -12,7 +12,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/platform"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -166,20 +168,145 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 }
 
-func TestHealthzPayloadStates(t *testing.T) {
+// TestHealthzStates pins /healthz to the shared fleet-health
+// derivation (platform.DeriveFleetHealth) that the watchdog probe also
+// consumes: 503 only when every node is down.
+func TestHealthzStates(t *testing.T) {
 	snap := metrics.Snapshot{Gauges: []metrics.GaugeSnapshot{
 		{Name: `node_state{node="node-00"}`, Value: 2},
 		{Name: `node_state{node="node-01"}`, Value: 2},
 		{Name: `other_gauge`, Value: 5},
 	}}
-	code, payload := healthzPayload(snap)
-	if code != http.StatusServiceUnavailable || payload["status"] != "down" {
-		t.Fatalf("all-down payload = %d %v", code, payload)
+	f := platform.DeriveFleetHealth(snap)
+	if !f.AllDown() || f.Status != "down" {
+		t.Fatalf("all-down fleet = %+v", f)
 	}
 	snap.Gauges[0].Value = 0
-	code, payload = healthzPayload(snap)
-	if code != http.StatusOK || payload["status"] != "degraded" {
-		t.Fatalf("degraded payload = %d %v", code, payload)
+	f = platform.DeriveFleetHealth(snap)
+	if f.AllDown() || f.Status != "degraded" {
+		t.Fatalf("degraded fleet = %+v", f)
+	}
+}
+
+func TestTimeseriesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/install", installBody)
+	post(t, ts.URL+"/invoke/hello", `{"who": "a"}`)
+	post(t, ts.URL+"/invoke/hello", `{"who": "b"}`)
+
+	status, body := get(t, ts.URL+"/timeseries")
+	if status != http.StatusOK {
+		t.Fatalf("timeseries status = %d", status)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	// Baseline sample at t=0 plus one sample per invocation.
+	if len(lines) != 4 {
+		t.Fatalf("timeseries rows = %d:\n%s", len(lines), body)
+	}
+	header := lines[0]
+	// Labeled names are CSV-quoted in the header ("" escapes quotes).
+	for _, want := range []string{
+		"ts_ns", "gateway_requests_total", "fleet_down_nodes",
+		"mem_sharing_efficiency", `invoke_latency{platform=""fireworks""}.p99`,
+	} {
+		if !strings.Contains(header, want) {
+			t.Errorf("timeseries header missing %q:\n%s", want, header)
+		}
+	}
+
+	status, body = get(t, ts.URL+"/timeseries?format=json")
+	if status != http.StatusOK {
+		t.Fatalf("timeseries json status = %d", status)
+	}
+	var dump struct {
+		Series []struct {
+			Name   string     `json:"name"`
+			Points [][]string `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatalf("timeseries json does not parse: %v", err)
+	}
+	found := false
+	for _, s := range dump.Series {
+		if s.Name == "gateway_requests_total" {
+			found = true
+			if len(s.Points) != 3 || s.Points[2][1] != "2" {
+				t.Fatalf("gateway_requests_total points = %v", s.Points)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("timeseries json missing gateway_requests_total")
+	}
+}
+
+func TestMemoryEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/install", installBody)
+	post(t, ts.URL+"/invoke/hello", `{"who": "a"}`)
+
+	status, body := get(t, ts.URL+"/memory")
+	if status != http.StatusOK {
+		t.Fatalf("memory status = %d", status)
+	}
+	text := string(body)
+	for _, want := range []string{"### node-00", "### node-01", "PSS", "snapshot page lineage"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("memory report missing %q:\n%s", want, text)
+		}
+	}
+
+	status, body = get(t, ts.URL+"/memory?format=json")
+	if status != http.StatusOK {
+		t.Fatalf("memory json status = %d", status)
+	}
+	var reports []struct {
+		Node   string         `json:"node"`
+		Report mem.HostReport `json:"report"`
+	}
+	if err := json.Unmarshal(body, &reports); err != nil {
+		t.Fatalf("memory json does not parse: %v", err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("memory json nodes = %d", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Report.PSSPageExact {
+			t.Fatalf("node %s PSS sum is not page-exact: %+v", r.Node, r.Report)
+		}
+	}
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := get(t, ts.URL+"/alerts")
+	if status != http.StatusOK {
+		t.Fatalf("alerts status = %d", status)
+	}
+	var out struct {
+		Rules  []string         `json:"rules"`
+		Firing []string         `json:"firing"`
+		Alerts []map[string]any `json:"alerts"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("alerts json does not parse: %v", err)
+	}
+	if len(out.Rules) != 4 {
+		t.Fatalf("default rules = %v", out.Rules)
+	}
+	if len(out.Firing) != 0 || len(out.Alerts) != 0 {
+		t.Fatalf("alerts on a fresh gateway: %s", body)
+	}
+	wantRule := "invoke-success-rate >= 0.99 over all history"
+	found := false
+	for _, r := range out.Rules {
+		if r == wantRule {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing rule %q in %v", wantRule, out.Rules)
 	}
 }
 

@@ -1,0 +1,72 @@
+// Command memcheck validates a memory-timeline CSV exported by the
+// telemetry layer (fwbench -run memtl, fwcli -timeseries-dump, or
+// GET /timeseries): the file must parse as CSV with a ts_ns-first
+// header, carry the mem_used_bytes series, hold at least two samples,
+// and keep virtual time strictly increasing. It is the sanity gate
+// behind `make mem-demo` — cheap enough for CI, strict enough to catch
+// a broken exporter before a human plots the file.
+//
+//	memcheck memory-timeline-fireworks.csv
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: memcheck <memory-timeline.csv>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if len(rows) < 3 {
+		fatal(fmt.Errorf("%s: %d rows; want a header and at least two samples", path, len(rows)))
+	}
+	header := rows[0]
+	if len(header) == 0 || header[0] != "ts_ns" {
+		fatal(fmt.Errorf("%s: first header column is %q, want ts_ns", path, header))
+	}
+	usedCol := -1
+	for i, name := range header {
+		if name == "mem_used_bytes" {
+			usedCol = i
+		}
+	}
+	if usedCol < 0 {
+		fatal(fmt.Errorf("%s: no mem_used_bytes column in header", path))
+	}
+	prev := int64(-1)
+	for i, row := range rows[1:] {
+		ts, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("%s: row %d ts_ns %q: %w", path, i+1, row[0], err))
+		}
+		if ts <= prev {
+			fatal(fmt.Errorf("%s: row %d ts_ns %d does not advance past %d", path, i+1, ts, prev))
+		}
+		prev = ts
+		if cell := row[usedCol]; cell != "" {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				fatal(fmt.Errorf("%s: row %d mem_used_bytes %q: %w", path, i+1, cell, err))
+			}
+		}
+	}
+	fmt.Printf("memcheck: %s ok (%d samples, %d series)\n", path, len(rows)-1, len(header)-1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memcheck:", err)
+	os.Exit(1)
+}

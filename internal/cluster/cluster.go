@@ -34,24 +34,17 @@ import (
 type Health int32
 
 // Node health states. The numeric values are what the node_state
-// gauge reports.
+// gauge reports (platform.HealthHealthy/Probation/Down by contract).
 const (
-	Healthy Health = iota
-	Probation
-	Down
+	Healthy   Health = platform.HealthHealthy
+	Probation Health = platform.HealthProbation
+	Down      Health = platform.HealthDown
 )
 
-// String names the health state.
-func (h Health) String() string {
-	switch h {
-	case Probation:
-		return "probation"
-	case Down:
-		return "down"
-	default:
-		return "healthy"
-	}
-}
+// String names the health state. It delegates to the shared
+// platform-level naming so gauge consumers (GET /healthz, the SLO
+// watchdog's fleet probe) and this type can never drift apart.
+func (h Health) String() string { return platform.HealthName(int64(h)) }
 
 // Policy selects how invocations are placed on nodes.
 type Policy int

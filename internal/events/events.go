@@ -240,13 +240,21 @@ func (j *Journal) Trace(id TraceID) []Event {
 // fire outside any request context. Returns the instant's Ref so later
 // events may still link to it.
 func (j *Journal) Instant(component, name string, ts time.Duration, attrs ...Attr) Ref {
+	return j.InstantLinked(component, name, ts, Ref{}, attrs...)
+}
+
+// InstantLinked is the journal-level Instant carrying a causal link to
+// another span — how a traceless observer (the SLO watchdog) points its
+// alert at the in-trace evidence that triggered it. A zero link
+// degrades to a plain instant.
+func (j *Journal) InstantLinked(component, name string, ts time.Duration, link Ref, attrs ...Attr) Ref {
 	if j == nil {
 		return Ref{}
 	}
 	id := j.newSpanID()
 	j.append(Event{
 		TS: ts, Span: id, Kind: KindInstant,
-		Component: component, Name: name, Attrs: attrs,
+		Component: component, Name: name, Link: link, Attrs: attrs,
 	})
 	return Ref{Span: id}
 }

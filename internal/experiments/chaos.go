@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -11,6 +12,8 @@ import (
 	"repro/internal/faults"
 	"repro/internal/platform"
 	"repro/internal/runtime"
+	"repro/internal/timeseries"
+	"repro/internal/vclock"
 	"repro/internal/workloads"
 )
 
@@ -58,6 +61,11 @@ type chaosOutcome struct {
 	// chrome is the same journal as Perfetto-loadable trace JSON.
 	ndjson []byte
 	chrome []byte
+	// alerts is what the SLO watchdog fired during the storm; journal
+	// keeps the run's event journal alive so each alert's causal link
+	// can be resolved back to the trace that broke the SLO.
+	alerts  []timeseries.Alert
+	journal *events.Journal
 }
 
 func (o *chaosOutcome) successRate() float64 {
@@ -100,20 +108,44 @@ func runChaosOnce(seed uint64, resilient bool) (*chaosOutcome, error) {
 	}
 	plane.ApplyDefaultPlan(chaosRate)
 
+	// The SLO watchdog rides along on the storm's virtual timeline: one
+	// sample per request, and the invoke-success-rate rule is evaluated
+	// at every sample. MinDen keeps it from firing before the storm has
+	// produced a statistically meaningful denominator.
+	out := &chaosOutcome{journal: c.Journal()}
+	sampler := timeseries.NewSampler(c.Metrics(), timeseries.DefaultCapacity)
+	sampler.AddProbe("chaos_requests_total", func() float64 { return float64(out.successes + out.failures) })
+	sampler.AddProbe("chaos_failures_total", func() float64 { return float64(out.failures) })
+	wd := timeseries.NewWatchdog(sampler, c.Journal(), c.Metrics())
+	wd.AddRule(timeseries.Rule{
+		Name:      "invoke-success-rate",
+		Ratio:     &timeseries.RatioSource{Num: "chaos_failures_total", Den: "chaos_requests_total", Complement: true, MinDen: 50},
+		Op:        timeseries.AtLeast,
+		Threshold: 0.99,
+	})
+	timeline := vclock.New()
+	sampler.Sample(0)
+
 	paramsA := platform.MustParams(map[string]any{"n": 101, "rounds": 2})
 	paramsB := platform.MustParams(map[string]any{"n": 4})
-	out := &chaosOutcome{}
 	for i := 0; i < chaosInvocations; i++ {
 		name, params := wa.Name, paramsA
 		if i%2 == 1 {
 			name, params = wb.Name, paramsB
 		}
-		if _, _, err := c.Invoke(name, params, platform.InvokeOptions{}); err != nil {
+		inv, _, err := c.Invoke(name, params, platform.InvokeOptions{})
+		step := time.Microsecond // failures still move the timeline
+		if err != nil {
 			out.failures++
 		} else {
 			out.successes++
+			step = inv.Breakdown.Total()
 		}
+		now := timeline.Advance(step)
+		sampler.Sample(now)
+		wd.Evaluate(now)
 	}
+	out.alerts = wd.Alerts()
 
 	reg := c.Metrics()
 	out.retries = reg.Counter("retries_total").Value()
@@ -213,6 +245,40 @@ func RunChaos() (*Result, error) {
 			Expected: "byte-identical NDJSON",
 			Measured: map[bool]string{true: "identical", false: "DIVERGED"}[traceReproducible],
 			Pass:     traceReproducible,
+		},
+	)
+
+	// SLO watchdog: the exposed storm must breach the 99% success SLO
+	// and the alert must carry a causal link into the journal that
+	// resolves to the trace of a failing request; the resilient storm
+	// holds the SLO, so the same rule must stay quiet there.
+	linkResolves := false
+	alertDetail := "no alert fired"
+	if len(exposed.alerts) > 0 {
+		a := exposed.alerts[0]
+		linked := exposed.journal.Trace(a.Link.Trace)
+		linkResolves = a.Link.Trace != 0 && len(linked) > 0
+		alertDetail = fmt.Sprintf("%s at %v (value %.3f, link trace %d: %d events)",
+			a.Rule, a.At, a.Value, uint64(a.Link.Trace), len(linked))
+	}
+	res.Checks = append(res.Checks,
+		Check{
+			Name:     "SLO watchdog fires under the exposed storm",
+			Expected: "invoke-success-rate alert",
+			Measured: alertDetail,
+			Pass:     len(exposed.alerts) > 0 && exposed.alerts[0].Rule == "invoke-success-rate",
+		},
+		Check{
+			Name:     "alert causally links to a failing trace",
+			Expected: "link resolves via the journal",
+			Measured: alertDetail,
+			Pass:     linkResolves,
+		},
+		Check{
+			Name:     "watchdog stays quiet on the resilient storm",
+			Expected: "no alerts",
+			Measured: fmt.Sprintf("%d alerts", len(resilient.alerts)),
+			Pass:     len(resilient.alerts) == 0,
 		},
 	)
 	res.Artifacts = append(res.Artifacts,

@@ -16,7 +16,13 @@
 //
 // A Host tracks total physical frame usage against a capacity and a
 // swappiness threshold, reproducing the "launch microVMs until swapping
-// starts" methodology of §5.4.
+// starts" methodology of §5.4. It also tracks every live Space and
+// Region, from which Report derives the smem-style fleet table and the
+// per-region page lineage (see report.go and docs/memory.md).
+//
+// All Space and Region state is guarded by the owning Host's mutex, so
+// a fleet report can walk every address space concurrently with the
+// spaces' owners mutating them.
 package mem
 
 import (
@@ -50,16 +56,25 @@ type Host struct {
 	swappiness   float64
 	usedPages    uint64
 	privatePages uint64 // pages not backed by a shared region frame
+	maxUsedPages uint64 // high-water mark of usedPages
 	regions      map[string]*Region
 	nextRegion   int
+	spaces       map[int]*Space // live address spaces by creation seq
+	nextSpace    int
 
 	// Observability (nil-safe; see Instrument).
 	cowFaults  *metrics.Counter
+	cowByKind  map[Kind]*metrics.Counter
 	swapEvents *metrics.Counter
 	usedGauge  *metrics.Gauge
 	privGauge  *metrics.Gauge
 	sharedG    *metrics.Gauge
 	swapGauge  *metrics.Gauge
+	privFrames *metrics.Gauge
+	sharFrames *metrics.Gauge
+	swapFrames *metrics.Gauge
+	highWaterG *metrics.Gauge
+	pssHist    *metrics.Histogram
 }
 
 // NewHost returns a host with the given physical capacity in bytes and a
@@ -73,23 +88,46 @@ func NewHost(capacity uint64, swappiness float64) *Host {
 		capacity:   capacity,
 		swappiness: swappiness,
 		regions:    make(map[string]*Region),
+		spaces:     make(map[int]*Space),
 	}
 }
 
-// Instrument attaches the host to a metrics registry. CoW faults and
-// swap-threshold crossings are counted; physical usage is exported as
-// gauges split into privately-owned pages and shared region frames
-// (the quantity the paper's PSS/USS experiments, Figures 10 and 12,
-// are about).
+// pssBuckets are the mem_pss_bytes histogram bounds: 1 MiB … 1 GiB,
+// log2-spaced — the range the paper's per-microVM PSS numbers live in.
+func pssBuckets() []float64 {
+	var bounds []float64
+	for b := uint64(1 << 20); b <= 1<<30; b <<= 1 {
+		bounds = append(bounds, float64(b))
+	}
+	return bounds
+}
+
+// Instrument attaches the host to a metrics registry. CoW faults are
+// counted in total and by page kind; physical usage is exported as
+// byte gauges split into privately-owned pages and shared region frames
+// (the quantity the paper's PSS/USS experiments, Figures 10 and 12, are
+// about) plus the matching frame-count gauges, the swapped-frame
+// estimate, and the usage high-water mark. mem_pss_bytes observes each
+// space's final PSS at teardown (smem's per-process column, sampled at
+// the end of life).
 func (h *Host) Instrument(reg *metrics.Registry) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.cowFaults = reg.Counter("mem_cow_faults_total")
+	h.cowByKind = make(map[Kind]*metrics.Counter)
+	for _, k := range Kinds() {
+		h.cowByKind[k] = reg.Counter(metrics.Name("mem_cow_faults_by_kind", "kind", string(k)))
+	}
 	h.swapEvents = reg.Counter("mem_swap_events_total")
 	h.usedGauge = reg.Gauge("mem_used_bytes")
 	h.privGauge = reg.Gauge("mem_private_bytes")
 	h.sharedG = reg.Gauge("mem_shared_bytes")
 	h.swapGauge = reg.Gauge("mem_swapping")
+	h.privFrames = reg.Gauge("mem_private_frames")
+	h.sharFrames = reg.Gauge("mem_shared_frames")
+	h.swapFrames = reg.Gauge("mem_swapped_frames")
+	h.highWaterG = reg.Gauge("mem_high_water_bytes")
+	h.pssHist = reg.HistogramWith("mem_pss_bytes", "bytes", pssBuckets())
 }
 
 // publishLocked refreshes the usage gauges; caller holds h.mu.
@@ -97,6 +135,20 @@ func (h *Host) publishLocked() {
 	h.usedGauge.Set(int64(h.usedPages) * PageSize)
 	h.privGauge.Set(int64(h.privatePages) * PageSize)
 	h.sharedG.Set(int64(h.usedPages-h.privatePages) * PageSize)
+	h.privFrames.Set(int64(h.privatePages))
+	h.sharFrames.Set(int64(h.usedPages - h.privatePages))
+	h.swapFrames.Set(int64(h.swappedPagesLocked()))
+	h.highWaterG.Set(int64(h.maxUsedPages) * PageSize)
+}
+
+// swappedPagesLocked estimates the frames the kernel would have pushed
+// to swap: usage beyond the swappiness threshold. Caller holds h.mu.
+func (h *Host) swappedPagesLocked() uint64 {
+	thr := uint64(float64(h.capacity)*h.swappiness) / PageSize
+	if h.usedPages <= thr {
+		return 0
+	}
+	return h.usedPages - thr
 }
 
 // Capacity returns the host's physical memory in bytes.
@@ -115,19 +167,31 @@ func (h *Host) Used() uint64 {
 	return h.usedPages * PageSize
 }
 
+// HighWater returns the highest usage (bytes) the host has ever reached
+// — the swap-pressure watermark the memory timeline reports.
+func (h *Host) HighWater() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.maxUsedPages * PageSize
+}
+
 // Swapping reports whether current usage has crossed the swap threshold.
 func (h *Host) Swapping() bool { return h.Used() > h.SwapThreshold() }
 
 func (h *Host) addPages(n int64) { h.adjust(n, 0) }
 
-// adjust moves the host's page accounting: pages is the total physical
-// frame delta, private the subset that is privately owned (anonymous
-// allocations and CoW copies). Shared frame usage is derived as
-// total - private. Crossing the swap threshold upward counts one swap
-// event.
 func (h *Host) adjust(pages, private int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.adjustLocked(pages, private)
+}
+
+// adjustLocked moves the host's page accounting: pages is the total
+// physical frame delta, private the subset that is privately owned
+// (anonymous allocations and CoW copies). Shared frame usage is derived
+// as total - private. Crossing the swap threshold upward counts one
+// swap event. Caller holds h.mu.
+func (h *Host) adjustLocked(pages, private int64) {
 	next := int64(h.usedPages) + pages
 	if next < 0 {
 		panic("mem: host page accounting went negative")
@@ -140,6 +204,9 @@ func (h *Host) adjust(pages, private int64) {
 	wasSwapping := int64(h.usedPages) > thr
 	h.usedPages = uint64(next)
 	h.privatePages = uint64(nextPriv)
+	if h.usedPages > h.maxUsedPages {
+		h.maxUsedPages = h.usedPages
+	}
 	nowSwapping := next > thr
 	if nowSwapping && !wasSwapping {
 		h.swapEvents.Inc()
@@ -166,6 +233,7 @@ func (h *Host) NewRegion(name string, kind Kind, pages int) *Region {
 	h.nextRegion++
 	r := &Region{
 		host:      h,
+		seq:       h.nextRegion,
 		name:      fmt.Sprintf("%s#%d", name, h.nextRegion),
 		kind:      kind,
 		pages:     pages,
@@ -179,10 +247,12 @@ func (h *Host) NewRegion(name string, kind Kind, pages int) *Region {
 // Region is a named group of pages shared CoW among address spaces.
 type Region struct {
 	host    *Host
+	seq     int // creation order, for deterministic reports
 	name    string
 	kind    Kind
 	pages   int
 	sharers int
+	faults  uint64 // lifetime CoW faults attributed to this region
 	// dirtied[p] = number of spaces that CoW-split page p and therefore
 	// no longer reference the base frame. Sparse: absent means zero.
 	dirtied map[int]int
@@ -223,10 +293,18 @@ func (r *Region) Sharers() int {
 	return r.sharers
 }
 
+// Faults returns the lifetime CoW faults taken against this region.
+func (r *Region) Faults() uint64 {
+	r.host.mu.Lock()
+	defer r.host.mu.Unlock()
+	return r.faults
+}
+
 // Space is one address space (one microVM's guest-physical memory, or one
 // container's memory image).
 type Space struct {
 	host    *Host
+	seq     int // creation order, for deterministic reports
 	name    string
 	refs    map[string]*regionRef
 	private map[Kind]int // private page counts by kind (anon + CoW copies)
@@ -238,14 +316,33 @@ type regionRef struct {
 	dirty  map[int]bool // pages this space has CoW-split
 }
 
-// NewSpace creates an empty address space on the host.
+// NewSpace creates an empty address space on the host and registers it
+// for fleet reports; Free unregisters it.
 func (h *Host) NewSpace(name string) *Space {
-	return &Space{
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextSpace++
+	s := &Space{
 		host:    h,
+		seq:     h.nextSpace,
 		name:    name,
 		refs:    make(map[string]*regionRef),
 		private: make(map[Kind]int),
 	}
+	h.spaces[s.seq] = s
+	return s
+}
+
+// Spaces returns the live address spaces in creation order.
+func (h *Host) Spaces() []*Space {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Space, 0, len(h.spaces))
+	for _, s := range h.spaces {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
 }
 
 // Name returns the space's name.
@@ -254,13 +351,14 @@ func (s *Space) Name() string { return s.name }
 // MapRegion maps a shared region into this space. Mapping the same region
 // twice is an error in the simulated stack and panics.
 func (s *Space) MapRegion(r *Region) {
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	s.mustLive()
 	if _, ok := s.refs[r.name]; ok {
 		panic(fmt.Sprintf("mem: region %s mapped twice into %s", r.name, s.name))
 	}
 	s.refs[r.name] = &regionRef{region: r, dirty: make(map[int]bool)}
-	h := s.host
-	h.mu.Lock()
 	r.sharers++
 	var delta int64
 	if r.sharers == 1 {
@@ -271,9 +369,8 @@ func (s *Space) MapRegion(r *Region) {
 	for p := range r.freedBase {
 		delta += int64(r.recheckPage(p))
 	}
-	h.mu.Unlock()
 	if delta != 0 {
-		h.addPages(delta)
+		h.adjustLocked(delta, 0)
 	}
 }
 
@@ -281,6 +378,9 @@ func (s *Space) MapRegion(r *Region) {
 // private copy. Dirtying an already-split page is a no-op (the private
 // copy is simply written again). It reports whether a CoW fault occurred.
 func (s *Space) DirtyPage(r *Region, page int) bool {
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	s.mustLive()
 	ref, ok := s.refs[r.name]
 	if !ok {
@@ -293,16 +393,15 @@ func (s *Space) DirtyPage(r *Region, page int) bool {
 		return false
 	}
 	ref.dirty[page] = true
-	h := s.host
-	h.mu.Lock()
 	r.dirtied[page]++
+	r.faults++
 	delta := int64(1) + int64(r.recheckPage(page))
-	h.mu.Unlock()
 	s.private[r.kind]++
 	h.cowFaults.Inc()
+	h.cowByKind[r.kind].Inc()
 	// The CoW copy is a new private page; the recheck remainder adjusts
 	// shared base frames.
-	h.adjust(delta, 1)
+	h.adjustLocked(delta, 1)
 	return true
 }
 
@@ -324,35 +423,48 @@ func (s *Space) DirtyPages(r *Region, n int) int {
 
 // AllocPrivate allocates n private anonymous pages of the given kind.
 func (s *Space) AllocPrivate(kind Kind, pages int) {
-	s.mustLive()
 	if pages < 0 {
 		panic("mem: negative private allocation")
 	}
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s.mustLive()
 	s.private[kind] += pages
-	s.host.adjust(int64(pages), int64(pages))
+	h.adjustLocked(int64(pages), int64(pages))
 }
 
 // FreePrivate releases n private pages of the given kind.
 func (s *Space) FreePrivate(kind Kind, pages int) {
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	s.mustLive()
 	if s.private[kind] < pages {
 		panic(fmt.Sprintf("mem: freeing %d %s pages but only %d allocated", pages, kind, s.private[kind]))
 	}
 	s.private[kind] -= pages
-	s.host.adjust(-int64(pages), -int64(pages))
+	h.adjustLocked(-int64(pages), -int64(pages))
 }
 
 // Free releases everything the space holds: region mappings (dropping
 // per-page sharer counts, reclaiming base frames that lost their last
-// referent) and private pages. The space is unusable afterwards.
+// referent) and private pages. The space's final PSS is observed into
+// mem_pss_bytes (smem's per-process sample, taken at end of life) and
+// the space is unregistered from fleet reports; it is unusable
+// afterwards.
 func (s *Space) Free() {
-	s.mustLive()
 	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s.mustLive()
+	if h.pssHist != nil {
+		h.pssHist.Observe(s.pssLocked())
+	}
 	var dirtyTotal int64
 	for _, ref := range s.refs {
 		r := ref.region
 		dirtyTotal += int64(len(ref.dirty))
-		h.mu.Lock()
 		// Our private CoW copies are released.
 		delta := -int64(len(ref.dirty))
 		for p := range ref.dirty {
@@ -377,10 +489,9 @@ func (s *Space) Free() {
 				delta += int64(r.recheckPage(p))
 			}
 		}
-		h.mu.Unlock()
 		// -len(ref.dirty) of delta is this space's CoW copies (private);
 		// the rest adjusts shared base frames.
-		h.adjust(delta, -int64(len(ref.dirty)))
+		h.adjustLocked(delta, -int64(len(ref.dirty)))
 	}
 	var privatePages int64
 	for _, n := range s.private {
@@ -388,7 +499,8 @@ func (s *Space) Free() {
 	}
 	// Region CoW copies were already subtracted above; subtract only
 	// the remaining pure-anonymous portion.
-	h.adjust(-(privatePages-dirtyTotal), -(privatePages-dirtyTotal))
+	h.adjustLocked(-(privatePages - dirtyTotal), -(privatePages - dirtyTotal))
+	delete(h.spaces, s.seq)
 	s.refs = nil
 	s.private = nil
 	s.freed = true
@@ -401,12 +513,23 @@ func (s *Space) mustLive() {
 }
 
 // PrivatePages returns the number of private pages of one kind.
-func (s *Space) PrivatePages(kind Kind) int { return s.private[kind] }
+func (s *Space) PrivatePages(kind Kind) int {
+	s.host.mu.Lock()
+	defer s.host.mu.Unlock()
+	return s.private[kind]
+}
 
 // RSS returns the resident set size in bytes: all mapped shared pages
 // plus all private pages (how `top` would see the microVM process).
 func (s *Space) RSS() uint64 {
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	s.mustLive()
+	return s.rssLocked()
+}
+
+func (s *Space) rssLocked() uint64 {
 	var pages uint64
 	for _, ref := range s.refs {
 		// Shared pages still referenced (not CoW-split by this space).
@@ -422,14 +545,18 @@ func (s *Space) RSS() uint64 {
 // computes it: each private page counts fully; each shared page counts
 // 1/N where N is the number of spaces still referencing that base frame.
 func (s *Space) PSS() float64 {
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	s.mustLive()
+	return s.pssLocked()
+}
+
+func (s *Space) pssLocked() float64 {
 	var pss float64
 	for _, n := range s.private {
 		pss += float64(n) * PageSize
 	}
-	h := s.host
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	for _, ref := range s.refs {
 		r := ref.region
 		// Pages nobody split: shared by all current sharers.
@@ -455,14 +582,18 @@ func (s *Space) PSS() float64 {
 // USS returns the unique set size in bytes: private pages plus shared
 // pages mapped by no other space.
 func (s *Space) USS() uint64 {
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	s.mustLive()
+	return s.ussLocked()
+}
+
+func (s *Space) ussLocked() uint64 {
 	var pages uint64
 	for _, n := range s.private {
 		pages += uint64(n)
 	}
-	h := s.host
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	for _, ref := range s.refs {
 		r := ref.region
 		if r.sharers == 1 {
@@ -484,14 +615,18 @@ func (s *Space) USS() uint64 {
 // BreakdownByKind returns this space's PSS decomposed by content kind,
 // used by the Figure 12 factor analysis.
 func (s *Space) BreakdownByKind() map[Kind]float64 {
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	s.mustLive()
+	return s.breakdownLocked()
+}
+
+func (s *Space) breakdownLocked() map[Kind]float64 {
 	out := make(map[Kind]float64)
 	for kind, n := range s.private {
 		out[kind] += float64(n) * PageSize
 	}
-	h := s.host
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	for _, ref := range s.refs {
 		r := ref.region
 		clean := r.pages - len(r.dirtied)

@@ -1,0 +1,77 @@
+package platform
+
+import (
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Node-health values, the numeric contract of the node_state{node}
+// gauge the cluster layer exports (cluster.Health mirrors these and
+// delegates its String to HealthName, so the two can never drift).
+const (
+	HealthHealthy   = 0 // takes traffic normally
+	HealthProbation = 1 // picked only when nothing healthy remains
+	HealthDown      = 2 // takes no traffic until it recovers
+)
+
+// HealthName renders a node_state gauge value.
+func HealthName(v int64) string {
+	switch v {
+	case HealthHealthy:
+		return "healthy"
+	case HealthProbation:
+		return "probation"
+	case HealthDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// FleetHealth is the one shared derivation of fleet availability from
+// node_state gauges — GET /healthz and the SLO watchdog's node-health
+// probe both consume it, so an operator's dashboard and the alerting
+// path can never disagree about what "down" means.
+type FleetHealth struct {
+	// Status is "ok" (every node up), "degraded" (some down), or
+	// "down" (all down — the only state the gateway 503s on, since the
+	// cluster absorbs anything less).
+	Status string `json:"status"`
+	// Nodes maps node name to its health name.
+	Nodes map[string]string `json:"nodes"`
+	// Total and Down count the fleet.
+	Total int `json:"total"`
+	Down  int `json:"down"`
+}
+
+// AllDown reports whether no node can take traffic.
+func (f FleetHealth) AllDown() bool { return f.Total > 0 && f.Down == f.Total }
+
+// DeriveFleetHealth folds a metrics snapshot's node_state gauges into
+// the fleet availability view.
+func DeriveFleetHealth(snap metrics.Snapshot) FleetHealth {
+	f := FleetHealth{Status: "ok", Nodes: map[string]string{}}
+	for _, g := range snap.Gauges {
+		name, ok := strings.CutPrefix(g.Name, `node_state{node="`)
+		if !ok {
+			continue
+		}
+		name, ok = strings.CutSuffix(name, `"}`)
+		if !ok {
+			continue
+		}
+		f.Total++
+		if g.Value == HealthDown {
+			f.Down++
+		}
+		f.Nodes[name] = HealthName(g.Value)
+	}
+	switch {
+	case f.AllDown():
+		f.Status = "down"
+	case f.Down > 0:
+		f.Status = "degraded"
+	}
+	return f
+}

@@ -1,0 +1,58 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestHealthName(t *testing.T) {
+	cases := map[int64]string{
+		HealthHealthy:   "healthy",
+		HealthProbation: "probation",
+		HealthDown:      "down",
+		99:              "unknown",
+	}
+	for v, want := range cases {
+		if got := HealthName(v); got != want {
+			t.Errorf("HealthName(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestDeriveFleetHealth(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Gauge(metrics.Name("node_state", "node", "node-00")).Set(HealthHealthy)
+	reg.Gauge(metrics.Name("node_state", "node", "node-01")).Set(HealthProbation)
+	reg.Gauge("unrelated_gauge").Set(7)
+
+	f := DeriveFleetHealth(reg.Snapshot())
+	if f.Status != "ok" || f.Total != 2 || f.Down != 0 {
+		t.Fatalf("fleet = %+v", f)
+	}
+	if f.Nodes["node-00"] != "healthy" || f.Nodes["node-01"] != "probation" {
+		t.Fatalf("nodes = %v", f.Nodes)
+	}
+	if f.AllDown() {
+		t.Fatal("AllDown with healthy nodes")
+	}
+
+	reg.Gauge(metrics.Name("node_state", "node", "node-01")).Set(HealthDown)
+	f = DeriveFleetHealth(reg.Snapshot())
+	if f.Status != "degraded" || f.Down != 1 {
+		t.Fatalf("degraded fleet = %+v", f)
+	}
+
+	reg.Gauge(metrics.Name("node_state", "node", "node-00")).Set(HealthDown)
+	f = DeriveFleetHealth(reg.Snapshot())
+	if f.Status != "down" || !f.AllDown() {
+		t.Fatalf("down fleet = %+v", f)
+	}
+}
+
+func TestDeriveFleetHealthEmpty(t *testing.T) {
+	f := DeriveFleetHealth(metrics.NewRegistry().Snapshot())
+	if f.Status != "ok" || f.Total != 0 || f.AllDown() {
+		t.Fatalf("empty fleet = %+v", f)
+	}
+}

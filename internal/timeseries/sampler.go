@@ -1,0 +1,186 @@
+package timeseries
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DefaultCapacity is the per-series ring size: at one sample per
+// invocation it holds the telemetry of thousands of requests.
+const DefaultCapacity = 4096
+
+// probe is a caller-supplied derived quantity sampled alongside the
+// registry (sharing efficiency, fleet down-node count, …).
+type probe struct {
+	name string
+	fn   func() float64
+}
+
+// Sampler snapshots a metrics registry into ring-buffer series on a
+// virtual clock. Counters and gauges become one series each under
+// their registry name; every histogram yields ".count", ".p50", and
+// ".p99" derivative series. Sampling is driven by the owner (after
+// each invocation, on a simulated tick, …) — the sampler never touches
+// wall time, so the series are as deterministic as the workload.
+//
+// Safe for concurrent use.
+type Sampler struct {
+	mu      sync.Mutex
+	reg     *metrics.Registry
+	cap     int
+	series  map[string]*Series
+	probes  []probe
+	keep    func(name string) bool
+	samples *metrics.Counter
+}
+
+// NewSampler returns a sampler over reg with the given per-series
+// capacity (DefaultCapacity when <= 0). The sampler counts its own
+// activity as timeseries_samples_total in the same registry.
+func NewSampler(reg *metrics.Registry, capacity int) *Sampler {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Sampler{
+		reg:     reg,
+		cap:     capacity,
+		series:  make(map[string]*Series),
+		samples: reg.Counter("timeseries_samples_total"),
+	}
+}
+
+// SetFilter restricts which registry metrics are recorded: only names
+// for which keep returns true get a series. Probes are always kept.
+// Call before the first Sample; a nil keep records everything.
+func (s *Sampler) SetFilter(keep func(name string) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keep = keep
+}
+
+// AddProbe samples a derived quantity under the given name on every
+// Sample. Probe names must not collide with registry metric names.
+func (s *Sampler) AddProbe(name string, fn func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probes = append(s.probes, probe{name: name, fn: fn})
+}
+
+// Sample snapshots the registry and every probe at virtual time now.
+// Sampling the same instant twice appends two points; the owner's
+// clock discipline decides the cadence.
+func (s *Sampler) Sample(now time.Duration) {
+	s.samples.Inc()
+	snap := s.reg.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range snap.Counters {
+		s.recordLocked(c.Name, now, float64(c.Value))
+	}
+	for _, g := range snap.Gauges {
+		s.recordLocked(g.Name, now, float64(g.Value))
+	}
+	for _, h := range snap.Histograms {
+		s.recordLocked(h.Name+".count", now, float64(h.Count))
+		s.recordLocked(h.Name+".p50", now, h.P50)
+		s.recordLocked(h.Name+".p99", now, h.P99)
+	}
+	for _, p := range s.probes {
+		s.appendLocked(p.name, now, p.fn())
+	}
+}
+
+// recordLocked appends a registry-sourced point, honoring the filter.
+func (s *Sampler) recordLocked(name string, ts time.Duration, v float64) {
+	if s.keep != nil && !s.keep(name) {
+		return
+	}
+	s.appendLocked(name, ts, v)
+}
+
+func (s *Sampler) appendLocked(name string, ts time.Duration, v float64) {
+	sr := s.series[name]
+	if sr == nil {
+		sr = newSeries(name, s.cap)
+		s.series[name] = sr
+	}
+	sr.append(ts, v)
+}
+
+// Names returns every series name, sorted.
+func (s *Sampler) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.series))
+	for name := range s.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SeriesSnapshot is a copied view of one series.
+type SeriesSnapshot struct {
+	Name   string
+	Points []Point
+}
+
+// Snapshot returns a copy of every series, sorted by name — the stable
+// view the exporters and the watchdog evaluate over.
+func (s *Sampler) Snapshot() []SeriesSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SeriesSnapshot, 0, len(s.series))
+	for name, sr := range s.series {
+		out = append(out, SeriesSnapshot{Name: name, Points: sr.Points()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Delta returns the named series' growth since from (see
+// Series.DeltaSince).
+func (s *Sampler) Delta(name string, from time.Duration) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.series[name].DeltaSince(from)
+}
+
+// Rate returns the named series' growth per virtual second since from.
+func (s *Sampler) Rate(name string, from time.Duration) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.series[name].RateSince(from)
+}
+
+// Quantile returns the p-quantile of the named series after from.
+func (s *Sampler) Quantile(name string, from time.Duration, p float64) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.series[name].Quantile(from, p)
+}
+
+// Last returns the newest point of the named series.
+func (s *Sampler) Last(name string) (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.series[name].Last()
+}
+
+// windowStart converts a sliding window ending at now into the from
+// mark the Series methods take: window <= 0 means all of history.
+func windowStart(now, window time.Duration) time.Duration {
+	if window <= 0 {
+		return -1
+	}
+	return now - window
+}
+
+// String implements fmt.Stringer for debugging.
+func (s *Sampler) String() string {
+	return fmt.Sprintf("timeseries.Sampler(%d series)", len(s.Names()))
+}

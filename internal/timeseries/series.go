@@ -1,0 +1,154 @@
+// Package timeseries is the virtual-clock history layer over the
+// metrics registry: a Sampler periodically folds registry counters,
+// gauges, and histogram quantiles — plus caller-supplied probes for
+// derived quantities like sharing efficiency — into bounded ring-buffer
+// Series, from which deltas, rates, and sliding-window percentiles are
+// computed and CSV/JSON timelines exported. A Watchdog (watchdog.go)
+// evaluates declarative SLO rules over the same series on the same
+// clock and emits alert events into the causal journal.
+//
+// Everything here is a pure function of the workload: timestamps come
+// from virtual clocks and values from deterministic instruments, so a
+// fixed seed reproduces every exported timeline byte for byte — the
+// property the memory-timeline experiment asserts.
+package timeseries
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Point is one observation of a series.
+type Point struct {
+	TS    time.Duration
+	Value float64
+}
+
+// Series is a bounded ring of points in ascending timestamp order.
+// Appending past capacity drops the oldest point. Series are created
+// and owned by a Sampler, which synchronizes access; the read methods
+// here assume the caller holds whatever lock guards the series.
+type Series struct {
+	name  string
+	buf   []Point
+	start int
+	n     int
+}
+
+func newSeries(name string, capacity int) *Series {
+	return &Series{name: name, buf: make([]Point, capacity)}
+}
+
+// Name returns the series name (the registry metric name, a histogram
+// derivative like "invoke_latency.p99", or a probe name).
+func (s *Series) Name() string { return s.name }
+
+// Len reports how many points are resident.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+func (s *Series) append(ts time.Duration, v float64) {
+	if s.n == len(s.buf) {
+		s.start = (s.start + 1) % len(s.buf)
+		s.n--
+	}
+	s.buf[(s.start+s.n)%len(s.buf)] = Point{TS: ts, Value: v}
+	s.n++
+}
+
+func (s *Series) at(i int) Point { return s.buf[(s.start+i)%len(s.buf)] }
+
+// Points returns a copy of the resident points, oldest first.
+func (s *Series) Points() []Point {
+	if s == nil {
+		return nil
+	}
+	out := make([]Point, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.at(i))
+	}
+	return out
+}
+
+// Last returns the newest point (ok=false when empty).
+func (s *Series) Last() (Point, bool) {
+	if s.Len() == 0 {
+		return Point{}, false
+	}
+	return s.at(s.n - 1), true
+}
+
+// baselineBefore returns the newest point with TS <= from, falling back
+// to the oldest resident point when the window start predates history.
+func (s *Series) baselineBefore(from time.Duration) (Point, bool) {
+	if s.Len() == 0 {
+		return Point{}, false
+	}
+	base := s.at(0)
+	for i := 0; i < s.n; i++ {
+		p := s.at(i)
+		if p.TS > from {
+			break
+		}
+		base = p
+	}
+	return base, true
+}
+
+// DeltaSince returns how much the series grew between the baseline at
+// (or before) from and the newest point — the burn-rate numerator for
+// counter-backed series. ok is false when fewer than two points exist.
+func (s *Series) DeltaSince(from time.Duration) (float64, bool) {
+	last, ok := s.Last()
+	if !ok || s.Len() < 2 {
+		return 0, false
+	}
+	base, _ := s.baselineBefore(from)
+	return last.Value - base.Value, true
+}
+
+// RateSince returns the average growth per (virtual) second between the
+// baseline at from and the newest point.
+func (s *Series) RateSince(from time.Duration) (float64, bool) {
+	last, ok := s.Last()
+	if !ok || s.Len() < 2 {
+		return 0, false
+	}
+	base, _ := s.baselineBefore(from)
+	dt := last.TS - base.TS
+	if dt <= 0 {
+		return 0, false
+	}
+	return (last.Value - base.Value) / dt.Seconds(), true
+}
+
+// WindowValues returns the values of every point with from < TS, oldest
+// first (the whole series when from is negative).
+func (s *Series) WindowValues(from time.Duration) []float64 {
+	if s.Len() == 0 {
+		return nil
+	}
+	var out []float64
+	for i := 0; i < s.n; i++ {
+		p := s.at(i)
+		if p.TS > from {
+			out = append(out, p.Value)
+		}
+	}
+	return out
+}
+
+// Quantile returns the p-quantile (0..100) of the values observed after
+// from, using the same percentile math as the metrics histograms.
+func (s *Series) Quantile(from time.Duration, p float64) (float64, bool) {
+	vals := s.WindowValues(from)
+	if len(vals) == 0 {
+		return 0, false
+	}
+	return stats.Percentile(vals, p), true
+}

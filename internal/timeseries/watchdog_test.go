@@ -1,0 +1,220 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/metrics"
+)
+
+// watchFixture builds a sampler fed by two loop counters plus a
+// watchdog with a journal, the shape the gateway and the chaos
+// experiment use.
+func watchFixture() (*metrics.Registry, *events.Journal, *Sampler, *Watchdog, *int, *int) {
+	reg := metrics.NewRegistry()
+	j := events.NewJournal(256)
+	requests, failures := new(int), new(int)
+	s := NewSampler(reg, 0)
+	s.AddProbe("requests_total", func() float64 { return float64(*requests) })
+	s.AddProbe("failures_total", func() float64 { return float64(*failures) })
+	w := NewWatchdog(s, j, reg)
+	return reg, j, s, w, requests, failures
+}
+
+func TestWatchdogFireAndResolve(t *testing.T) {
+	reg, j, s, w, requests, failures := watchFixture()
+	w.AddRule(Rule{
+		Name:      "invoke-success-rate",
+		Ratio:     &RatioSource{Num: "failures_total", Den: "requests_total", Complement: true},
+		Op:        AtLeast,
+		Threshold: 0.99,
+	})
+
+	s.Sample(0) // zero baseline
+	// 100 requests, 1 failure → 99% success: exactly at threshold, ok.
+	*requests, *failures = 100, 1
+	s.Sample(ms(1))
+	if fired := w.Evaluate(ms(1)); len(fired) != 0 {
+		t.Fatalf("fired at threshold: %v", fired)
+	}
+	// 10 more requests, 5 more failures → success 94/110+... < 99%.
+	*requests, *failures = 110, 6
+	s.Sample(ms(2))
+	// Plant causal evidence: a traced error event.
+	sc := j.NewScope("gateway", "invoke", ms(2))
+	sc.Instant("gateway", "fail", ms(2), events.A("error", "boom"))
+	sc.Close(ms(2))
+	fired := w.Evaluate(ms(2))
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	a := fired[0]
+	if a.Rule != "invoke-success-rate" || a.Op != ">=" || a.Threshold != 0.99 {
+		t.Fatalf("alert = %+v", a)
+	}
+	if a.Link.Trace == 0 {
+		t.Fatal("alert missing causal link")
+	}
+	if got := j.Trace(a.Link.Trace); len(got) == 0 {
+		t.Fatal("alert link does not resolve to a trace")
+	}
+	if got := w.Firing(); len(got) != 1 || got[0] != "invoke-success-rate" {
+		t.Fatalf("firing = %v", got)
+	}
+	// Still violated: no re-fire.
+	if fired := w.Evaluate(ms(2)); len(fired) != 0 {
+		t.Fatalf("re-fired while already firing: %v", fired)
+	}
+	// Recover: flood with successes.
+	*requests = 2000
+	s.Sample(ms(3))
+	if fired := w.Evaluate(ms(3)); len(fired) != 0 {
+		t.Fatalf("fired on recovery: %v", fired)
+	}
+	if got := w.Firing(); len(got) != 0 {
+		t.Fatalf("still firing after recovery: %v", got)
+	}
+	if got := len(w.Alerts()); got != 1 {
+		t.Fatalf("alert history = %d", got)
+	}
+
+	snap := reg.Snapshot()
+	wantCounter := `slo_alerts_total{rule="invoke-success-rate"}`
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == wantCounter && c.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing %s=1 in %v", wantCounter, snap.Counters)
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == `slo_rule_firing{rule="invoke-success-rate"}` && g.Value != 0 {
+			t.Fatalf("firing gauge not reset: %d", g.Value)
+		}
+	}
+	// An alert instant and a resolve instant landed in the journal.
+	var alerts, resolves int
+	for _, e := range j.Events() {
+		if e.Component != "slo" {
+			continue
+		}
+		switch e.Name {
+		case "alert":
+			alerts++
+			if e.Link.Trace == 0 {
+				t.Fatal("journal alert event lost its link")
+			}
+		case "resolve":
+			resolves++
+		}
+	}
+	if alerts != 1 || resolves != 1 {
+		t.Fatalf("journal slo events: %d alerts, %d resolves", alerts, resolves)
+	}
+}
+
+func TestWatchdogMinDenSuppression(t *testing.T) {
+	_, _, s, w, requests, failures := watchFixture()
+	w.AddRule(Rule{
+		Name:      "rate",
+		Ratio:     &RatioSource{Num: "failures_total", Den: "requests_total", Complement: true, MinDen: 50},
+		Op:        AtLeast,
+		Threshold: 0.99,
+	})
+	s.Sample(0)
+	// 2 requests, both failures: 0% success — but below the MinDen floor.
+	*requests, *failures = 2, 2
+	s.Sample(ms(1))
+	if fired := w.Evaluate(ms(1)); len(fired) != 0 {
+		t.Fatalf("fired below MinDen: %v", fired)
+	}
+	// Past the floor the same ratio fires.
+	*requests, *failures = 60, 30
+	s.Sample(ms(2))
+	if fired := w.Evaluate(ms(2)); len(fired) != 1 {
+		t.Fatalf("did not fire past MinDen: %v", fired)
+	}
+}
+
+func TestWatchdogValueRuleWithWindow(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := NewSampler(reg, 0)
+	lat := 0.0
+	s.AddProbe("p99_lat", func() float64 { return lat })
+	w := NewWatchdog(s, nil, reg) // nil journal: alerts still recorded
+	w.AddRule(Rule{
+		Name:      "latency",
+		Value:     &ValueSource{Series: "p99_lat", Quantile: 99},
+		Op:        AtMost,
+		Threshold: 100,
+		Window:    2 * time.Millisecond,
+	})
+	for i := 1; i <= 3; i++ {
+		lat = 50
+		s.Sample(ms(i))
+	}
+	if fired := w.Evaluate(ms(3)); len(fired) != 0 {
+		t.Fatalf("fired under threshold: %v", fired)
+	}
+	lat = 500
+	s.Sample(ms(4))
+	fired := w.Evaluate(ms(4))
+	if len(fired) != 1 || fired[0].Value <= 100 {
+		t.Fatalf("fired = %+v", fired)
+	}
+	// The 500 sample ages out of the 2ms window.
+	lat = 50
+	s.Sample(ms(5))
+	s.Sample(ms(7))
+	w.Evaluate(ms(7))
+	if got := w.Firing(); len(got) != 0 {
+		t.Fatalf("still firing after window aged out: %v", got)
+	}
+}
+
+func TestWatchdogSkipsRulesWithoutData(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := NewSampler(reg, 0)
+	w := NewWatchdog(s, nil, reg)
+	w.AddRule(Rule{
+		Name:      "nodata",
+		Value:     &ValueSource{Series: "missing"},
+		Op:        AtLeast,
+		Threshold: 1,
+	})
+	if fired := w.Evaluate(ms(1)); len(fired) != 0 {
+		t.Fatalf("fired with no data: %v", fired)
+	}
+}
+
+func TestWatchdogAddRulePanicsOnBadSources(t *testing.T) {
+	reg := metrics.NewRegistry()
+	w := NewWatchdog(NewSampler(reg, 0), nil, reg)
+	for _, r := range []Rule{
+		{Name: "neither"},
+		{Name: "both", Ratio: &RatioSource{}, Value: &ValueSource{}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("AddRule(%s) did not panic", r.Name)
+				}
+			}()
+			w.AddRule(r)
+		}()
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Name: "sr", Ratio: &RatioSource{}, Op: AtLeast, Threshold: 0.99, Window: 2 * time.Second}
+	if got := r.String(); got != "sr >= 0.99 over 2s" {
+		t.Fatalf("String = %q", got)
+	}
+	r.Window = 0
+	if got := r.String(); got != "sr >= 0.99 over all history" {
+		t.Fatalf("String = %q", got)
+	}
+}

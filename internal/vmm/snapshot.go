@@ -107,6 +107,20 @@ func (s *Snapshot) Sharers() int {
 	return s.regions[0].Sharers()
 }
 
+// Lineage returns the page lineage of every region in the image — per
+// region, how many pages are still shared by every restored VM, split
+// by some, or fully reclaimed (see docs/memory.md). Regions appear in
+// image layout order.
+func (s *Snapshot) Lineage() []mem.RegionLineage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]mem.RegionLineage, 0, len(s.regions))
+	for _, r := range s.regions {
+		out = append(out, r.Lineage())
+	}
+	return out
+}
+
 // TakeSnapshot serializes a running VM's memory into a snapshot image.
 // The caller describes the guest memory layout (regions by kind) and the
 // resident working set; creation time is charged to clock. The source VM
