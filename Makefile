@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race trace-demo mem-demo
+.PHONY: check vet build test race trace-demo mem-demo bench-gate bench-baseline
 
 # check is the tier-1 gate: everything must pass before a merge.
 check: vet build test race
@@ -16,11 +16,11 @@ test:
 
 # The concurrency-bearing subsystems — the cluster scheduler, the
 # metrics registry, the shared lifecycle pool, the Fireworks invoke
-# pipeline, the fault-injection plane, the event journal, the host
-# memory accountant, and the telemetry sampler/watchdog — additionally
-# run under the race detector.
+# pipeline, the fault-injection plane, the event journal, the message
+# bus, the host memory accountant, and the telemetry sampler/watchdog —
+# additionally run under the race detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/... ./internal/events/... ./internal/mem/... ./internal/timeseries/...
+	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/... ./internal/events/... ./internal/msgbus/... ./internal/mem/... ./internal/timeseries/...
 
 # trace-demo runs a faulted fwsim demo, dumps its event journal as
 # Chrome trace-event JSON, and sanity-checks that the dump parses and
@@ -29,6 +29,18 @@ trace-demo:
 	$(GO) run ./cmd/fwsim -metrics text -nodes 3 -invocations 12 -faults seed=7,rate=0.05 -trace-dump trace-demo.json > /dev/null
 	$(GO) run ./cmd/tracecheck trace-demo.json
 	rm -f trace-demo.json
+
+# bench-gate runs the hot-path benchmarks and compares them against
+# the committed baseline (BENCH_simharness.json), failing on
+# regression. CI uses a short benchtime; see docs/benchmarking.md for
+# the tolerance policy.
+bench-gate:
+	$(GO) run ./cmd/benchgate -benchtime 200ms -out bench-fresh.json
+
+# bench-baseline refreshes the committed baseline from a longer run on
+# the current machine. Commit the resulting BENCH_simharness.json.
+bench-baseline:
+	$(GO) run ./cmd/benchgate -write -benchtime 1s -count 2
 
 # mem-demo runs the memory-timeline experiment (Fig-10 methodology on a
 # scaled host), writes its CSV artifacts, and sanity-checks them with

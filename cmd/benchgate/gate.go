@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's measurements as recorded in
+// BENCH_simharness.json.
+type BenchResult struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	BytesOp    float64 `json:"bytes_per_op,omitempty"`
+	// Custom carries `b.ReportMetric` extras, e.g. ns_virtual/op for
+	// the virtual-time experiment benchmarks or records/op for the
+	// msgbus batch benchmark.
+	Custom map[string]float64 `json:"custom,omitempty"`
+}
+
+// Report is the schema of BENCH_simharness.json. Derived holds
+// machine-comparable ratios (speedups and throughput) computed from
+// the raw results; ratios of two numbers from the same run cancel out
+// most of the host's absolute speed, so they gate much tighter than
+// raw ns/op.
+type Report struct {
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	CPU        string             `json:"cpu,omitempty"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Benchtime  string             `json:"benchtime"`
+	Results    []BenchResult      `json:"results"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+func (r *Report) result(name string) *BenchResult {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkMetricsParallel/sharded-4   10362654   45.85 ns/op   1 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBenchOutput extracts results from `go test -bench` output.
+// The trailing -N GOMAXPROCS suffix is stripped from names so reports
+// compare across machines with different core counts.
+func parseBenchOutput(out string) []BenchResult {
+	var results []BenchResult
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := BenchResult{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		// Metrics come as value/unit pairs: `45.85 ns/op 1 B/op ...`.
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			default:
+				if r.Custom == nil {
+					r.Custom = map[string]float64{}
+				}
+				r.Custom[unit] = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// derive computes the report's derived ratios:
+//
+//   - sim_invokes_per_wall_sec: how many simulated invocations the
+//     harness replays per wall-clock second (1e9 / ns_per_op of
+//     BenchmarkFireworksInvoke) — the headline "is the simulator still
+//     fast" number.
+//   - metrics_parallel_speedup, journal_parallel_speedup: flat-lock
+//     baseline ns/op ÷ sharded ns/op.
+//   - msgbus_batch_speedup: per-record produce/consume ns/op ÷ batched
+//     ns/op.
+func derive(r *Report) {
+	r.Derived = map[string]float64{}
+	if b := r.result("BenchmarkFireworksInvoke"); b != nil && b.NsPerOp > 0 {
+		r.Derived["sim_invokes_per_wall_sec"] = 1e9 / b.NsPerOp
+	}
+	ratio := func(key, num, den string) {
+		n, d := r.result(num), r.result(den)
+		if n != nil && d != nil && d.NsPerOp > 0 {
+			r.Derived[key] = n.NsPerOp / d.NsPerOp
+		}
+	}
+	ratio("metrics_parallel_speedup", "BenchmarkMetricsParallel/flat", "BenchmarkMetricsParallel/sharded")
+	ratio("journal_parallel_speedup", "BenchmarkJournalParallel/flat", "BenchmarkJournalParallel/sharded")
+	ratio("msgbus_batch_speedup", "BenchmarkMsgbusBatch/single", "BenchmarkMsgbusBatch/batch")
+}
+
+// Tolerances bound how far a fresh run may drift from the committed
+// baseline before the gate fails.
+type Tolerances struct {
+	// MaxNsRatio bounds fresh ns/op ÷ baseline ns/op. Wall time moves
+	// with the host, so this band is generous; the committed baseline
+	// mainly guards against order-of-magnitude regressions.
+	MaxNsRatio float64
+	// MaxAllocRatio bounds fresh allocs/op ÷ baseline allocs/op (after
+	// AllocSlack). Allocation counts are hardware-independent, so this
+	// band is tight.
+	MaxAllocRatio float64
+	// AllocSlack is an absolute allowance added to the baseline before
+	// the ratio check, so a 0→1 allocs/op change on a tiny benchmark
+	// does not divide by zero (and a 2→3 change on a small one does
+	// not read as 1.5x).
+	AllocSlack float64
+	// MinSpeedups gates the derived ratios: each key must be at least
+	// its value in the fresh report. The msgbus batch win is
+	// algorithmic and holds everywhere; the sharded registry/journal
+	// wins grow with core count, so their floors are set as
+	// "never meaningfully slower than the flat baseline".
+	MinSpeedups map[string]float64
+}
+
+func defaultTolerances() Tolerances {
+	return Tolerances{
+		MaxNsRatio:    3.0,
+		MaxAllocRatio: 1.25,
+		AllocSlack:    4,
+		MinSpeedups: map[string]float64{
+			// Lock-free read index: faster than the flat RLock path
+			// even single-threaded; grows with cores.
+			"metrics_parallel_speedup": 1.2,
+			// Atomic ID allocation vs all-on-one-mutex: parity
+			// single-core, wins with real parallelism. Floor guards
+			// against reintroducing a global lock.
+			"journal_parallel_speedup": 0.8,
+			// Amortized lock acquisition: algorithmic, holds on any
+			// machine.
+			"msgbus_batch_speedup": 1.3,
+		},
+	}
+}
+
+// Violation is one gate failure.
+type Violation struct {
+	Name   string
+	Detail string
+}
+
+func (v Violation) String() string { return v.Name + ": " + v.Detail }
+
+// compare checks a fresh report against the committed baseline. Only
+// gated manifest entries participate. A gated benchmark missing from
+// either report is itself a violation — silently dropping a benchmark
+// must not pass the gate.
+func compare(baseline, fresh *Report, tol Tolerances) []Violation {
+	var vs []Violation
+	for _, e := range manifest {
+		if !e.Gate {
+			continue
+		}
+		bb, fb := baseline.result(e.Name), fresh.result(e.Name)
+		if bb == nil {
+			vs = append(vs, Violation{e.Name, "missing from baseline (regenerate with -write)"})
+			continue
+		}
+		if fb == nil {
+			vs = append(vs, Violation{e.Name, "missing from fresh run"})
+			continue
+		}
+		if bb.NsPerOp > 0 && fb.NsPerOp > tol.MaxNsRatio*bb.NsPerOp {
+			vs = append(vs, Violation{e.Name, fmt.Sprintf(
+				"ns/op regressed: %.0f -> %.0f (> %.2gx baseline)",
+				bb.NsPerOp, fb.NsPerOp, tol.MaxNsRatio)})
+		}
+		if allowed := (bb.AllocsOp + tol.AllocSlack) * tol.MaxAllocRatio; fb.AllocsOp > allowed {
+			vs = append(vs, Violation{e.Name, fmt.Sprintf(
+				"allocs/op regressed: %.0f -> %.0f (> %.0f allowed)",
+				bb.AllocsOp, fb.AllocsOp, allowed)})
+		}
+	}
+	keys := make([]string, 0, len(tol.MinSpeedups))
+	for k := range tol.MinSpeedups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		min := tol.MinSpeedups[k]
+		got, ok := fresh.Derived[k]
+		if !ok {
+			vs = append(vs, Violation{k, "derived ratio missing from fresh run"})
+			continue
+		}
+		if got < min {
+			vs = append(vs, Violation{k, fmt.Sprintf("%.2fx, want >= %.2fx", got, min)})
+		}
+	}
+	return vs
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func writeReport(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleReport builds a healthy report covering every gated manifest
+// entry, with derived ratios above their floors.
+func sampleReport() *Report {
+	r := &Report{Benchtime: "1s"}
+	for _, e := range manifest {
+		if !e.Gate {
+			continue
+		}
+		r.Results = append(r.Results, BenchResult{
+			Name: e.Name, Iterations: 1000, NsPerOp: 1000, AllocsOp: 10, BytesOp: 256,
+		})
+	}
+	// Make the ratio numerators slower than their denominators so the
+	// derived speedups clear their floors.
+	r.result("BenchmarkMetricsParallel/flat").NsPerOp = 2000
+	r.result("BenchmarkJournalParallel/flat").NsPerOp = 1100
+	r.result("BenchmarkMsgbusBatch/single").NsPerOp = 1700
+	derive(r)
+	return r
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	base := sampleReport()
+	fresh := sampleReport()
+	if vs := compare(base, fresh, defaultTolerances()); len(vs) != 0 {
+		t.Fatalf("identical reports should pass, got violations: %v", vs)
+	}
+}
+
+// TestCompareFailsOnSyntheticRegression feeds the gate a fresh report
+// with deliberately regressed numbers and requires it to fail — the
+// gate's reason to exist.
+func TestCompareFailsOnSyntheticRegression(t *testing.T) {
+	base := sampleReport()
+
+	t.Run("ns_per_op", func(t *testing.T) {
+		fresh := sampleReport()
+		fresh.result("BenchmarkFireworksInvoke").NsPerOp *= 10 // way past the 3x band
+		vs := compare(base, fresh, defaultTolerances())
+		if !hasViolation(vs, "BenchmarkFireworksInvoke", "ns/op") {
+			t.Fatalf("10x ns/op regression not caught: %v", vs)
+		}
+	})
+
+	t.Run("allocs_per_op", func(t *testing.T) {
+		fresh := sampleReport()
+		fresh.result("BenchmarkSnapshotRestore").AllocsOp *= 3
+		vs := compare(base, fresh, defaultTolerances())
+		if !hasViolation(vs, "BenchmarkSnapshotRestore", "allocs/op") {
+			t.Fatalf("3x allocs/op regression not caught: %v", vs)
+		}
+	})
+
+	t.Run("speedup_collapse", func(t *testing.T) {
+		// A refactor that reintroduces the flat lock shows up as the
+		// sharded arm slowing to (or past) the baseline arm.
+		fresh := sampleReport()
+		fresh.result("BenchmarkMsgbusBatch/batch").NsPerOp = fresh.result("BenchmarkMsgbusBatch/single").NsPerOp
+		derive(fresh)
+		vs := compare(base, fresh, defaultTolerances())
+		if !hasViolation(vs, "msgbus_batch_speedup", "want >=") {
+			t.Fatalf("collapsed msgbus speedup not caught: %v", vs)
+		}
+	})
+
+	t.Run("missing_benchmark", func(t *testing.T) {
+		fresh := sampleReport()
+		keep := fresh.Results[:0]
+		for _, b := range fresh.Results {
+			if b.Name != "BenchmarkSnapshotRestore" {
+				keep = append(keep, b)
+			}
+		}
+		fresh.Results = keep
+		vs := compare(base, fresh, defaultTolerances())
+		if !hasViolation(vs, "BenchmarkSnapshotRestore", "missing") {
+			t.Fatalf("dropped benchmark not caught: %v", vs)
+		}
+	})
+}
+
+// TestCompareToleratesHardwareDrift checks the band is wide enough for
+// a slower CI machine: 2x wall-clock drift with identical allocation
+// behavior must pass.
+func TestCompareToleratesHardwareDrift(t *testing.T) {
+	base := sampleReport()
+	fresh := sampleReport()
+	for i := range fresh.Results {
+		fresh.Results[i].NsPerOp *= 2
+	}
+	derive(fresh) // ratios cancel the uniform slowdown
+	if vs := compare(base, fresh, defaultTolerances()); len(vs) != 0 {
+		t.Fatalf("uniform 2x slowdown should pass (ratios cancel), got: %v", vs)
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `
+goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFireworksInvoke 	      96	   3934138 ns/op	  12598878 ns_virtual/op	  388027 B/op	    8655 allocs/op
+BenchmarkMetricsParallel/sharded-4      	10362654	        45.85 ns/op	       1 B/op	       0 allocs/op
+BenchmarkMsgbusBatch/batch          	   28704	     11332 ns/op	        64.00 records/op	   25792 B/op	      85 allocs/op
+PASS
+ok  	repro	1.860s
+`
+	results := parseBenchOutput(out)
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	inv := results[0]
+	if inv.Name != "BenchmarkFireworksInvoke" || inv.NsPerOp != 3934138 || inv.AllocsOp != 8655 {
+		t.Errorf("bad invoke parse: %+v", inv)
+	}
+	if inv.Custom["ns_virtual/op"] != 12598878 {
+		t.Errorf("custom metric lost: %+v", inv.Custom)
+	}
+	// The -4 GOMAXPROCS suffix must be stripped.
+	if results[1].Name != "BenchmarkMetricsParallel/sharded" {
+		t.Errorf("suffix not stripped: %q", results[1].Name)
+	}
+	if results[2].Custom["records/op"] != 64 {
+		t.Errorf("records/op lost: %+v", results[2].Custom)
+	}
+}
+
+func TestDerive(t *testing.T) {
+	r := sampleReport()
+	if got := r.Derived["sim_invokes_per_wall_sec"]; got != 1e9/1000 {
+		t.Errorf("sim_invokes_per_wall_sec = %v, want 1e6", got)
+	}
+	if got := r.Derived["metrics_parallel_speedup"]; got != 2.0 {
+		t.Errorf("metrics_parallel_speedup = %v, want 2.0", got)
+	}
+}
+
+func TestGatedPattern(t *testing.T) {
+	pat := gatedPattern(false)
+	for _, want := range []string{"BenchmarkFireworksInvoke", "BenchmarkMetricsParallel", "BenchmarkMsgbusBatch"} {
+		if !strings.Contains(pat, want) {
+			t.Errorf("gated pattern missing %s: %s", want, pat)
+		}
+	}
+	if strings.Contains(pat, "BenchmarkTable1Matrix") {
+		t.Errorf("ungated benchmark in gated pattern: %s", pat)
+	}
+	if !strings.Contains(gatedPattern(true), "BenchmarkTable1Matrix") {
+		t.Errorf("-all pattern missing ungated benchmark")
+	}
+	// Sub-benchmarks of one function must not repeat the function name.
+	if n := strings.Count(pat, "BenchmarkMetricsParallel"); n != 1 {
+		t.Errorf("BenchmarkMetricsParallel appears %d times in pattern", n)
+	}
+}
+
+func hasViolation(vs []Violation, name, detail string) bool {
+	for _, v := range vs {
+		if v.Name == name && strings.Contains(v.Detail, detail) {
+			return true
+		}
+	}
+	return false
+}

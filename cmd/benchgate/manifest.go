@@ -1,0 +1,85 @@
+package main
+
+import "strings"
+
+// BenchEntry is one benchmark the gate knows about. Every Benchmark*
+// function in the repo root's bench_test.go must be listed here — the
+// manifest hygiene test (manifest_test.go) fails the build otherwise,
+// so a new benchmark cannot be added without deciding whether the gate
+// watches it.
+type BenchEntry struct {
+	// Name is the benchmark function name, or "Func/sub" for a
+	// sub-benchmark run via b.Run.
+	Name string
+	// Gate marks the hot-path set: these run on every `benchgate`
+	// invocation and are compared against the committed baseline.
+	// Ungated entries are acknowledged (the manifest is the complete
+	// inventory) but only run with -all.
+	Gate bool
+}
+
+// manifest inventories every benchmark in bench_test.go. The gated
+// subset is the simulator's own hot path — invocation, snapshot
+// restore, and the contention benchmarks guarding the sharded
+// registry/journal and the batched message bus.
+var manifest = []BenchEntry{
+	// Paper-figure experiment benchmarks: deterministic virtual-time
+	// replays, tracked for inventory but not gated (each runs a whole
+	// experiment; wall time is dominated by workload construction).
+	{Name: "BenchmarkTable1Matrix"},
+	{Name: "BenchmarkTable2Workloads"},
+	{Name: "BenchmarkSnapshotCreation"},
+	{Name: "BenchmarkFig6NodeFaaSdom"},
+	{Name: "BenchmarkFig7PythonFaaSdom"},
+	{Name: "BenchmarkFig9RealWorld"},
+	{Name: "BenchmarkFig10Consolidation"},
+	{Name: "BenchmarkFig11FactorPerf"},
+	{Name: "BenchmarkFig12FactorMemory"},
+	{Name: "BenchmarkWildTrace"},
+	{Name: "BenchmarkAblationREAP"},
+	{Name: "BenchmarkAblationSnapBudget"},
+	{Name: "BenchmarkAblationDeopt"},
+	{Name: "BenchmarkClusterScale"},
+
+	// Hot-path microbenchmarks: gated.
+	{Name: "BenchmarkFireworksInvoke", Gate: true},
+	{Name: "BenchmarkFireworksWarmResumeInvoke", Gate: true},
+	{Name: "BenchmarkFirecrackerColdInvoke"},
+	{Name: "BenchmarkInterpreterTier"},
+	{Name: "BenchmarkJITTier"},
+	{Name: "BenchmarkSnapshotRestore", Gate: true},
+	{Name: "BenchmarkPSSAccounting"},
+
+	// Harness contention benchmarks: gated, including the derived
+	// sharded/flat and batch/single speedups.
+	{Name: "BenchmarkMetricsParallel/flat", Gate: true},
+	{Name: "BenchmarkMetricsParallel/sharded", Gate: true},
+	{Name: "BenchmarkJournalParallel/flat", Gate: true},
+	{Name: "BenchmarkJournalParallel/sharded", Gate: true},
+	{Name: "BenchmarkMsgbusBatch/single", Gate: true},
+	{Name: "BenchmarkMsgbusBatch/batch", Gate: true},
+}
+
+// gatedPattern returns the -bench regexp selecting the gated set (or
+// every manifest entry with all=true).
+func gatedPattern(all bool) string {
+	seen := map[string]bool{}
+	pat := "^("
+	first := true
+	for _, e := range manifest {
+		if !e.Gate && !all {
+			continue
+		}
+		top, _, _ := strings.Cut(e.Name, "/")
+		if seen[top] {
+			continue
+		}
+		seen[top] = true
+		if !first {
+			pat += "|"
+		}
+		pat += top
+		first = false
+	}
+	return pat + ")$"
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var benchFuncRe = regexp.MustCompile(`(?m)^func (Benchmark\w+)\(b \*testing\.B\)`)
+
+// TestManifestCoversAllBenchmarks is the benchmark-hygiene gate: every
+// Benchmark* function in the repo root's bench_test.go must appear in
+// the manifest (directly, or as the prefix of its sub-benchmark
+// entries). Adding a benchmark without deciding whether benchgate
+// watches it fails here.
+func TestManifestCoversAllBenchmarks(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "bench_test.go"))
+	if err != nil {
+		t.Fatalf("reading bench_test.go: %v", err)
+	}
+	inManifest := map[string]bool{}
+	for _, e := range manifest {
+		top, _, _ := strings.Cut(e.Name, "/")
+		inManifest[top] = true
+	}
+	var missing []string
+	declared := map[string]bool{}
+	for _, m := range benchFuncRe.FindAllStringSubmatch(string(src), -1) {
+		name := m[1]
+		declared[name] = true
+		if !inManifest[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("no Benchmark* functions found in bench_test.go — regexp drift?")
+	}
+	if len(missing) > 0 {
+		t.Errorf("benchmarks missing from cmd/benchgate manifest: %v\n"+
+			"add each to manifest.go (Gate: true if it guards a hot path)", missing)
+	}
+	// And the reverse: a manifest entry whose function is gone is dead
+	// weight that would silently never run.
+	for top := range inManifest {
+		if !declared[top] {
+			t.Errorf("manifest entry %s has no Benchmark function in bench_test.go", top)
+		}
+	}
+}

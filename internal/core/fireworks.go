@@ -321,6 +321,12 @@ func (f *Framework) classifyPutError(name string, err error) error {
 	return fmt.Errorf("fireworks: %q: snapshot store rejected image: %w", name, err)
 }
 
+// invokeStatePool recycles invokeState across invocations: the state
+// never escapes Invoke (stage and cleanup closures referencing it all
+// run inside Pipeline.Run), so it is reset and returned when the
+// pipeline settles.
+var invokeStatePool = sync.Pool{New: func() any { return new(invokeState) }}
+
 // invokeState threads one invocation's accumulating state through the
 // pipeline stages.
 type invokeState struct {
@@ -399,7 +405,12 @@ func (f *Framework) Invoke(name string, params lang.Value, opts platform.InvokeO
 		}
 	}
 
-	st := &invokeState{inst: inst}
+	st := invokeStatePool.Get().(*invokeState)
+	*st = invokeState{inst: inst}
+	defer func() {
+		*st = invokeState{}
+		invokeStatePool.Put(st)
+	}()
 	pl := lifecycle.NewPipeline().
 		Stage("snapshot-get", traced("snapshot-get", func(cl *lifecycle.Cleanup) error {
 			return f.stageSnapshot(st, name, inv, cl)

@@ -15,10 +15,24 @@
 // sequential run with a fixed seed reproduces the NDJSON dump byte for
 // byte. (Concurrent invocations interleave appends in goroutine
 // schedule order — the same caveat internal/faults documents.)
+//
+// The journal is sharded per node: appends hash the event's Node name
+// onto independently locked rings, so a fleet of nodes recording into
+// one shared journal does not serialize on a single mutex. Sequence
+// numbers stay journal-wide (an atomic counter), and Events() merges
+// the shards back into sequence order, so exports are byte-identical
+// to the flat single-ring layout for the same workload —
+// NewJournalShards(capacity, 1) keeps the flat layout available as the
+// benchmark baseline. The one observable difference is eviction under
+// overflow: a full shard evicts its own oldest event rather than the
+// globally oldest (capacity is divided across shards), an approximation
+// that only shows once a run overflows the ring.
 package events
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -94,31 +108,86 @@ type Event struct {
 // DefaultCapacity is the journal's default ring size.
 const DefaultCapacity = 1 << 16
 
+// DefaultShards is the per-node stripe count of NewJournal — sized for
+// the simulated fleets the cluster experiments run (dozens of nodes).
+const DefaultShards = 16
+
 // Journal is the bounded event ring of one simulated deployment (a
 // host, or a whole cluster sharing one journal via EnvConfig). When
 // full, the oldest events are dropped and counted. A nil *Journal is
 // valid and records nothing, so components emit unconditionally.
 type Journal struct {
-	mu        sync.Mutex
-	buf       []Event
-	start     int // index of the oldest event
-	n         int // events resident
-	seq       uint64
-	nextTrace uint64
-	nextSpan  uint64
-	dropped   uint64
+	shards    []journalShard
+	mask      uint32
+	seq       atomic.Uint64
+	nextTrace atomic.Uint64
+	nextSpan  atomic.Uint64
 
-	recorded *metrics.Counter
-	droppedC *metrics.Counter
+	recorded atomic.Pointer[metrics.Counter]
+	droppedC atomic.Pointer[metrics.Counter]
+}
+
+// journalShard is one independently locked event ring; appends hash
+// the event's Node name here, so each simulated node contends only
+// with itself (and the host events sharing its stripe).
+type journalShard struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // events resident
+	dropped uint64
+	_       [24]byte // keep neighboring shard mutexes off one cache line
 }
 
 // NewJournal returns a journal holding at most capacity events
-// (DefaultCapacity when <= 0).
+// (DefaultCapacity when <= 0) striped over DefaultShards rings.
 func NewJournal(capacity int) *Journal {
+	return NewJournalShards(capacity, DefaultShards)
+}
+
+// NewJournalShards returns a journal with an explicit stripe count
+// (rounded up to a power of two; n <= 1 yields the flat single-ring
+// layout the contention benchmarks use as their baseline). The total
+// capacity is divided across the stripes.
+func NewJournalShards(capacity, n int) *Journal {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Journal{buf: make([]Event, capacity)}
+	if n < 1 {
+		n = DefaultShards
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	per := (capacity + pow - 1) / pow
+	if per < 1 {
+		per = 1
+	}
+	j := &Journal{shards: make([]journalShard, pow), mask: uint32(pow - 1)}
+	for i := range j.shards {
+		j.shards[i].buf = make([]Event, per)
+	}
+	return j
+}
+
+// Shards reports the journal's stripe count.
+func (j *Journal) Shards() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.shards)
+}
+
+// shard maps a node name onto its stripe (FNV-1a; "" — the host /
+// control plane — hashes like any other name).
+func (j *Journal) shard(node string) *journalShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(node); i++ {
+		h ^= uint32(node[i])
+		h *= 16777619
+	}
+	return &j.shards[h&j.mask]
 }
 
 // Instrument attaches the journal to a metrics registry:
@@ -127,10 +196,8 @@ func (j *Journal) Instrument(reg *metrics.Registry) {
 	if j == nil {
 		return
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.recorded = reg.Counter("events_recorded_total")
-	j.droppedC = reg.Counter("events_dropped_total")
+	j.recorded.Store(reg.Counter("events_recorded_total"))
+	j.droppedC.Store(reg.Counter("events_dropped_total"))
 }
 
 // append records an event, assigning its sequence number.
@@ -138,20 +205,27 @@ func (j *Journal) append(e Event) {
 	if j == nil {
 		return
 	}
-	j.mu.Lock()
-	j.seq++
-	e.Seq = j.seq
-	if j.n == len(j.buf) {
-		// Ring full: overwrite the oldest.
-		j.start = (j.start + 1) % len(j.buf)
-		j.n--
-		j.dropped++
-		j.droppedC.Inc()
+	j.appendTo(j.shard(e.Node), &e)
+}
+
+// appendTo is append with the stripe already resolved — scopes cache
+// their stripe so steady-state emission skips the node hash. The event
+// is passed by pointer purely to avoid copying the ~200-byte struct an
+// extra time; appendTo copies it into the ring and retains nothing.
+func (j *Journal) appendTo(s *journalShard, e *Event) {
+	e.Seq = j.seq.Add(1)
+	s.mu.Lock()
+	if s.n == len(s.buf) {
+		// Ring full: overwrite the shard's oldest.
+		s.start = (s.start + 1) % len(s.buf)
+		s.n--
+		s.dropped++
+		j.droppedC.Load().Inc()
 	}
-	j.buf[(j.start+j.n)%len(j.buf)] = e
-	j.n++
-	j.recorded.Inc()
-	j.mu.Unlock()
+	s.buf[(s.start+s.n)%len(s.buf)] = *e
+	s.n++
+	s.mu.Unlock()
+	j.recorded.Load().Inc()
 }
 
 // newTraceID allocates a fresh trace ID.
@@ -159,11 +233,7 @@ func (j *Journal) newTraceID() TraceID {
 	if j == nil {
 		return 0
 	}
-	j.mu.Lock()
-	j.nextTrace++
-	id := TraceID(j.nextTrace)
-	j.mu.Unlock()
-	return id
+	return TraceID(j.nextTrace.Add(1))
 }
 
 // newSpanID allocates a fresh span ID.
@@ -171,11 +241,7 @@ func (j *Journal) newSpanID() SpanID {
 	if j == nil {
 		return 0
 	}
-	j.mu.Lock()
-	j.nextSpan++
-	id := SpanID(j.nextSpan)
-	j.mu.Unlock()
-	return id
+	return SpanID(j.nextSpan.Add(1))
 }
 
 // Len reports how many events are resident.
@@ -183,32 +249,49 @@ func (j *Journal) Len() int {
 	if j == nil {
 		return 0
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.n
+	total := 0
+	for i := range j.shards {
+		s := &j.shards[i]
+		s.mu.Lock()
+		total += s.n
+		s.mu.Unlock()
+	}
+	return total
 }
 
-// Dropped reports how many events the ring has evicted.
+// Dropped reports how many events the rings have evicted.
 func (j *Journal) Dropped() uint64 {
 	if j == nil {
 		return 0
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.dropped
+	var total uint64
+	for i := range j.shards {
+		s := &j.shards[i]
+		s.mu.Lock()
+		total += s.dropped
+		s.mu.Unlock()
+	}
+	return total
 }
 
-// Events returns a copy of the resident events in append order.
+// Events returns a copy of the resident events in append order: the
+// shards merge back into one stream ordered by journal-wide sequence
+// number, so the result is identical to a flat single-ring journal fed
+// the same workload.
 func (j *Journal) Events() []Event {
 	if j == nil {
 		return nil
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	out := make([]Event, 0, j.n)
-	for i := 0; i < j.n; i++ {
-		out = append(out, j.buf[(j.start+i)%len(j.buf)])
+	var out []Event
+	for i := range j.shards {
+		s := &j.shards[i]
+		s.mu.Lock()
+		for k := 0; k < s.n; k++ {
+			out = append(out, s.buf[(s.start+k)%len(s.buf)])
+		}
+		s.mu.Unlock()
 	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
 	return out
 }
 
@@ -270,6 +353,13 @@ type Scope struct {
 	stack []SpanID
 	node  string
 	vm    string
+	// shard is the stripe of the scope's current node, cached so
+	// steady-state emission pays the node hash once per SetNode instead
+	// of once per event.
+	shard *journalShard
+	// stackBuf inlines the open-span stack for typical nesting depths,
+	// so a scope costs one allocation instead of two.
+	stackBuf [4]SpanID
 }
 
 // NewScope opens a new trace rooted at a span named name, beginning at
@@ -279,7 +369,8 @@ func (j *Journal) NewScope(component, name string, ts time.Duration, attrs ...At
 	if j == nil {
 		return nil
 	}
-	s := &Scope{j: j, trace: j.newTraceID()}
+	s := &Scope{j: j, trace: j.newTraceID(), shard: j.shard("")}
+	s.stack = s.stackBuf[:0]
 	s.Begin(component, name, ts, attrs...)
 	return s
 }
@@ -306,6 +397,7 @@ func (s *Scope) Current() Ref {
 func (s *Scope) SetNode(name string) {
 	if s != nil {
 		s.node = name
+		s.shard = s.j.shard(name)
 	}
 }
 
@@ -323,10 +415,11 @@ func (s *Scope) Begin(component, name string, ts time.Duration, attrs ...Attr) {
 		return
 	}
 	id := s.j.newSpanID()
-	s.j.append(Event{
+	e := Event{
 		TS: ts, Trace: s.trace, Span: id, Parent: s.parent(), Kind: KindBegin,
 		Component: component, Name: name, Node: s.node, VM: s.vm, Attrs: attrs,
-	})
+	}
+	s.j.appendTo(s.shard, &e)
 	s.stack = append(s.stack, id)
 }
 
@@ -341,10 +434,11 @@ func (s *Scope) End(ts time.Duration, attrs ...Attr) {
 	s.stack = s.stack[:len(s.stack)-1]
 	// End events do not repeat the Begin's component/name — consumers
 	// resolve them by span ID.
-	s.j.append(Event{
+	e := Event{
 		TS: ts, Trace: s.trace, Span: id, Parent: s.parent(), Kind: KindEnd,
 		Node: s.node, VM: s.vm, Attrs: attrs,
-	})
+	}
+	s.j.appendTo(s.shard, &e)
 }
 
 // Instant records a zero-width event under the innermost open span and
@@ -360,10 +454,11 @@ func (s *Scope) InstantLinked(component, name string, ts time.Duration, link Ref
 		return Ref{}
 	}
 	id := s.j.newSpanID()
-	s.j.append(Event{
+	e := Event{
 		TS: ts, Trace: s.trace, Span: id, Parent: s.parent(), Kind: KindInstant,
 		Component: component, Name: name, Node: s.node, VM: s.vm, Link: link, Attrs: attrs,
-	})
+	}
+	s.j.appendTo(s.shard, &e)
 	return Ref{Trace: s.trace, Span: id}
 }
 

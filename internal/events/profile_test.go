@@ -17,8 +17,8 @@ func TestFoldStacksChargesInnermost(t *testing.T) {
 
 	charged := FoldStacks(j.Events())
 	want := map[string]time.Duration{
-		"core:invoke":                                    10*time.Microsecond + 40*time.Microsecond,
-		"core:invoke;core:restore-or-reuse":              10*time.Microsecond + 10*time.Microsecond,
+		"core:invoke":                                      10*time.Microsecond + 40*time.Microsecond,
+		"core:invoke;core:restore-or-reuse":                10*time.Microsecond + 10*time.Microsecond,
 		"core:invoke;core:restore-or-reuse;vmm:vm-restore": 30 * time.Microsecond,
 	}
 	for p, d := range want {

@@ -1,0 +1,185 @@
+package events
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShardedConcurrentAppends hammers one journal from many
+// node-homed goroutines while readers keep calling Events(), then
+// checks nothing was lost: every append is present exactly once and
+// sequence numbers are unique. Under -race this pins down the sharded
+// append path and the atomic ID allocators.
+func TestShardedConcurrentAppends(t *testing.T) {
+	// Capacity splits across stripes (1<<18 / 16 = 16384 per stripe);
+	// the root Begin of every scope lands on the host ("") stripe
+	// before SetNode, so one stripe must absorb all 4000 begins plus
+	// any colliding nodes' events without evicting.
+	j := NewJournal(1 << 18)
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+
+	stop := make(chan struct{})
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() {
+		defer readerDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				evs := j.Events()
+				for i := 1; i < len(evs); i++ {
+					if evs[i].Seq <= evs[i-1].Seq {
+						t.Error("Events() not seq-sorted")
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			node := fmt.Sprintf("node-%02d", g)
+			for i := 0; i < perG; i++ {
+				sc := j.NewScope("core", "invoke", time.Duration(i))
+				sc.SetNode(node)
+				sc.Instant("vmm", "restore", time.Duration(i))
+				sc.Close(time.Duration(i + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readerDone.Wait()
+
+	// Each iteration appends 3 events: begin, instant, end.
+	want := goroutines * perG * 3
+	evs := j.Events()
+	if len(evs) != want {
+		t.Fatalf("journal has %d events, want %d", len(evs), want)
+	}
+	if j.Len() != want {
+		t.Errorf("Len() = %d, want %d", j.Len(), want)
+	}
+	if j.Dropped() != 0 {
+		t.Errorf("Dropped() = %d, want 0", j.Dropped())
+	}
+	seqs := make(map[uint64]bool, len(evs))
+	for _, e := range evs {
+		if seqs[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seqs[e.Seq] = true
+	}
+	// Per-goroutine trace IDs must be unique too.
+	traces := map[TraceID]int{}
+	for _, e := range evs {
+		if e.Kind == KindBegin && e.Component == "core" {
+			traces[e.Trace]++
+		}
+	}
+	if len(traces) != goroutines*perG {
+		t.Errorf("%d distinct traces, want %d", len(traces), goroutines*perG)
+	}
+}
+
+// seedJournal replays a fixed multi-node workload single-threaded —
+// the deterministic-simulation shape whose exports must be
+// byte-stable.
+func seedJournal(j *Journal) {
+	ts := time.Duration(0)
+	for i := 0; i < 200; i++ {
+		node := fmt.Sprintf("node-%02d", i%5)
+		sc := j.NewScope("core", "invoke", ts, A("fn", fmt.Sprintf("f%d", i%3)))
+		sc.SetNode(node)
+		sc.SetVM(fmt.Sprintf("vm-%d", i%4))
+		sc.Begin("vmm", "restore", ts+time.Microsecond)
+		sc.Instant("mem", "cow-fault", ts+2*time.Microsecond)
+		sc.End(ts + 3*time.Microsecond)
+		sc.Close(ts + 5*time.Microsecond)
+		ts += 10 * time.Microsecond
+	}
+	// Host-level (nodeless) instants interleave with node events.
+	j.Instant("cluster", "rebalance", ts)
+}
+
+// TestGoldenExportShardInvariance pins the tentpole invariant: the
+// same single-threaded workload recorded into a single-stripe journal
+// and into the default sharded journal must export byte-identical
+// NDJSON and Chrome-trace artifacts. The ordered merge by journal-wide
+// Seq makes shard count invisible.
+func TestGoldenExportShardInvariance(t *testing.T) {
+	flat := NewJournalShards(DefaultCapacity, 1)
+	sharded := NewJournal(DefaultCapacity)
+	if flat.Shards() != 1 || sharded.Shards() != DefaultShards {
+		t.Fatalf("shard counts: flat %d, sharded %d", flat.Shards(), sharded.Shards())
+	}
+	seedJournal(flat)
+	seedJournal(sharded)
+
+	for _, format := range []string{"ndjson", "chrome"} {
+		var fb, sb bytes.Buffer
+		if err := WriteFormat(&fb, flat.Events(), format); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFormat(&sb, sharded.Events(), format); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fb.Bytes(), sb.Bytes()) {
+			t.Errorf("%s export differs between 1 and %d shards (flat %d bytes, sharded %d bytes)",
+				format, DefaultShards, fb.Len(), sb.Len())
+		}
+	}
+}
+
+// TestShardedRingDropsPerStripe documents the sharded journal's
+// eviction approximation: capacity splits across stripes and each
+// stripe evicts its own oldest, so total retention stays bounded by
+// the requested capacity while per-node recency is preserved.
+func TestShardedRingDropsPerStripe(t *testing.T) {
+	const perShard = 4
+	j := NewJournalShards(perShard*4, 4)
+	// Overfill one node's stripe; other nodes' events must survive.
+	busy := j.shard("busy-node")
+	quietName := ""
+	for i := 0; i < 32; i++ {
+		name := fmt.Sprintf("quiet-%02d", i)
+		if j.shard(name) != busy {
+			quietName = name
+			break
+		}
+	}
+	if quietName == "" {
+		t.Fatal("could not find a node name on another stripe")
+	}
+	j.append(Event{Node: quietName, Component: "t", Name: "keep", TS: 0})
+	for i := 0; i < perShard*3; i++ {
+		j.append(Event{Node: "busy-node", Component: "t", Name: "flood", TS: time.Duration(i)})
+	}
+	if j.Dropped() == 0 {
+		t.Error("flooded stripe did not drop")
+	}
+	found := false
+	for _, e := range j.Events() {
+		if e.Node == quietName {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("quiet node's event was evicted by another stripe's flood")
+	}
+	if got := j.Len(); got > perShard*4 {
+		t.Errorf("Len() = %d exceeds total capacity %d", got, perShard*4)
+	}
+}

@@ -92,20 +92,25 @@ func (r *Registry) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	snap := Snapshot{VirtualTimeNS: int64(r.snapshotTime())}
-	r.mu.RLock()
-	counters := make([]*Counter, 0, len(r.counters))
-	for _, c := range r.counters {
-		counters = append(counters, c)
+	// Gather instruments stripe by stripe; the sort below merges the
+	// shards deterministically, so shard count never shows in the dump.
+	var counters []*Counter
+	var gauges []*Gauge
+	var hists []*Histogram
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for _, c := range s.counters {
+			counters = append(counters, c)
+		}
+		for _, g := range s.gauges {
+			gauges = append(gauges, g)
+		}
+		for _, h := range s.histograms {
+			hists = append(hists, h)
+		}
+		s.mu.RUnlock()
 	}
-	gauges := make([]*Gauge, 0, len(r.gauges))
-	for _, g := range r.gauges {
-		gauges = append(gauges, g)
-	}
-	hists := make([]*Histogram, 0, len(r.histograms))
-	for _, h := range r.histograms {
-		hists = append(hists, h)
-	}
-	r.mu.RUnlock()
 
 	for _, c := range counters {
 		snap.Counters = append(snap.Counters, CounterSnapshot{Name: c.name, Value: c.Value()})

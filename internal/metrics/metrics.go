@@ -17,6 +17,19 @@
 // no-op, and a nil *Registry hands out nil instruments. Components can
 // therefore record unconditionally and stay zero-cost when a host is
 // built without a registry.
+//
+// The registry's lookup path is two-level. Steady-state lookups hit a
+// frozen copy-on-write read index: one atomic pointer load plus a map
+// access, no lock traffic at all — instruments are created once and
+// live forever, which is exactly the read-mostly shape that layout
+// serves. Creates hash the instrument name (FNV-1a) onto independently
+// locked stripes and then republish the index, so concurrent first-use
+// from many nodes of a simulated fleet does not serialize on one
+// mutex. Sharding is invisible to exports — Snapshot gathers every
+// stripe and sorts by name, so the text and JSON dumps are
+// byte-identical to a single-stripe registry fed the same workload
+// (the golden tests pin this down, and NewRegistryShards(1) keeps that
+// layout available).
 package metrics
 
 import (
@@ -61,24 +74,84 @@ func DefaultLatencyBuckets() []float64 {
 	}
 }
 
+// DefaultShards is the stripe count of NewRegistry. 32 stripes keep
+// lock cache lines apart for fleets of dozens of nodes while costing
+// ~3 KiB of empty maps on a single-host registry.
+const DefaultShards = 32
+
 // Registry is a concurrency-safe collection of named instruments.
 // Instruments are created on first use and live for the registry's
 // lifetime. The zero value is not usable; call NewRegistry.
 type Registry struct {
+	clockMu sync.RWMutex
+	clock   *vclock.Clock
+	shards  []regShard
+	mask    uint32
+
+	// Frozen read indexes. Instruments are created once and live
+	// forever, so the common lookup is a pure read: one atomic pointer
+	// load and a map access, no lock round-trip. Creates go through the
+	// shards and then republish the index (rebuilds are serialized by
+	// rebuildMu and gather every shard under its lock, so the last
+	// published index always contains every completed create).
+	rebuildMu sync.Mutex
+	readC     atomic.Pointer[map[string]*Counter]
+	readG     atomic.Pointer[map[string]*Gauge]
+	readH     atomic.Pointer[map[string]*Histogram]
+}
+
+// regShard is one independently locked stripe of the name space. The
+// pad keeps neighboring stripes' mutexes off one cache line.
+type regShard struct {
 	mu         sync.RWMutex
-	clock      *vclock.Clock
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	_          [16]byte // sync.RWMutex (24) + 3 map headers (24) + 16 = one 64-byte line
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+// NewRegistry returns an empty registry with DefaultShards stripes.
+func NewRegistry() *Registry { return NewRegistryShards(DefaultShards) }
+
+// NewRegistryShards returns an empty registry striped over n shards
+// (rounded up to a power of two; n <= 1 yields a single-stripe
+// registry, the layout the golden determinism tests compare the
+// default against). Shard count never changes observable behavior —
+// only lock spread.
+func NewRegistryShards(n int) *Registry {
+	if n < 1 {
+		n = DefaultShards
 	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	r := &Registry{shards: make([]regShard, pow), mask: uint32(pow - 1)}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.counters = make(map[string]*Counter)
+		s.gauges = make(map[string]*Gauge)
+		s.histograms = make(map[string]*Histogram)
+	}
+	return r
+}
+
+// Shards reports the registry's stripe count.
+func (r *Registry) Shards() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.shards)
+}
+
+// shard maps an instrument name onto its stripe (FNV-1a).
+func (r *Registry) shard(name string) *regShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &r.shards[h&r.mask]
 }
 
 // SetClock attaches a virtual clock; snapshots are stamped with its
@@ -87,9 +160,9 @@ func (r *Registry) SetClock(c *vclock.Clock) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
+	r.clockMu.Lock()
 	r.clock = c
-	r.mu.Unlock()
+	r.clockMu.Unlock()
 }
 
 // Name builds a labeled metric name, e.g.
@@ -122,24 +195,51 @@ func Name(base string, kv ...string) string {
 	return sb.String()
 }
 
-// Counter returns the named counter, creating it on first use.
+// Counter returns the named counter, creating it on first use. The
+// steady-state path is lock-free: a hit in the frozen read index costs
+// one atomic load and one map lookup.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	c := r.counters[name]
-	r.mu.RUnlock()
+	if m := r.readC.Load(); m != nil {
+		if c := (*m)[name]; c != nil {
+			return c
+		}
+	}
+	return r.counterSlow(name)
+}
+
+func (r *Registry) counterSlow(name string) *Counter {
+	s := r.shard(name)
+	s.mu.Lock()
+	c := s.counters[name]
 	if c != nil {
+		// Created by a racing goroutine whose index republish is still
+		// in flight; that republish will surface it.
+		s.mu.Unlock()
 		return c
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c = r.counters[name]; c == nil {
-		c = &Counter{name: name}
-		r.counters[name] = c
-	}
+	c = &Counter{name: name}
+	s.counters[name] = c
+	s.mu.Unlock()
+	r.republishCounters()
 	return c
+}
+
+func (r *Registry) republishCounters() {
+	r.rebuildMu.Lock()
+	defer r.rebuildMu.Unlock()
+	m := make(map[string]*Counter)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for k, v := range s.counters {
+			m[k] = v
+		}
+		s.mu.RUnlock()
+	}
+	r.readC.Store(&m)
 }
 
 // Gauge returns the named gauge, creating it on first use.
@@ -147,24 +247,57 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	g := r.gauges[name]
-	r.mu.RUnlock()
+	if m := r.readG.Load(); m != nil {
+		if g := (*m)[name]; g != nil {
+			return g
+		}
+	}
+	return r.gaugeSlow(name)
+}
+
+func (r *Registry) gaugeSlow(name string) *Gauge {
+	s := r.shard(name)
+	s.mu.Lock()
+	g := s.gauges[name]
 	if g != nil {
+		s.mu.Unlock()
 		return g
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if g = r.gauges[name]; g == nil {
-		g = &Gauge{name: name}
-		r.gauges[name] = g
-	}
+	g = &Gauge{name: name}
+	s.gauges[name] = g
+	s.mu.Unlock()
+	r.republishGauges()
 	return g
 }
 
+func (r *Registry) republishGauges() {
+	r.rebuildMu.Lock()
+	defer r.rebuildMu.Unlock()
+	m := make(map[string]*Gauge)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for k, v := range s.gauges {
+			m[k] = v
+		}
+		s.mu.RUnlock()
+	}
+	r.readG.Store(&m)
+}
+
 // Histogram returns the named duration histogram (default latency
-// buckets, nanosecond unit), creating it on first use.
+// buckets, nanosecond unit), creating it on first use. A hit in the
+// frozen read index returns before the default buckets are even
+// materialized, keeping repeat lookups allocation-free.
 func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if m := r.readH.Load(); m != nil {
+		if h := (*m)[name]; h != nil {
+			return h
+		}
+	}
 	return r.HistogramWith(name, UnitDuration, DefaultLatencyBuckets())
 }
 
@@ -176,29 +309,54 @@ func (r *Registry) HistogramWith(name, unit string, bounds []float64) *Histogram
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	h := r.histograms[name]
-	r.mu.RUnlock()
-	if h != nil {
+	if m := r.readH.Load(); m != nil {
+		if h := (*m)[name]; h != nil {
+			return h
+		}
+	}
+	s := r.shard(name)
+	s.mu.Lock()
+	if h := s.histograms[name]; h != nil {
+		s.mu.Unlock()
 		return h
 	}
+	s.mu.Unlock()
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
 			panic(fmt.Sprintf("metrics: histogram %s bounds not ascending: %v", name, bounds))
 		}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h = r.histograms[name]; h == nil {
+	s.mu.Lock()
+	h := s.histograms[name]
+	if h == nil {
 		h = &Histogram{
 			name:   name,
 			unit:   unit,
 			bounds: append([]float64(nil), bounds...),
 			counts: make([]uint64, len(bounds)+1),
 		}
-		r.histograms[name] = h
+		s.histograms[name] = h
+		s.mu.Unlock()
+		r.republishHistograms()
+		return h
 	}
+	s.mu.Unlock()
 	return h
+}
+
+func (r *Registry) republishHistograms() {
+	r.rebuildMu.Lock()
+	defer r.rebuildMu.Unlock()
+	m := make(map[string]*Histogram)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for k, v := range s.histograms {
+			m[k] = v
+		}
+		s.mu.RUnlock()
+	}
+	r.readH.Store(&m)
 }
 
 // Counter is a monotonically increasing count. Safe for concurrent
@@ -341,8 +499,8 @@ func (h *Histogram) Percentile(p float64) float64 {
 // snapshotTime returns the registry's virtual time, or 0 without a
 // clock.
 func (r *Registry) snapshotTime() time.Duration {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.clockMu.RLock()
+	defer r.clockMu.RUnlock()
 	if r.clock == nil {
 		return 0
 	}

@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TestShardedNoLostUpdates hammers counters, gauges, and histograms
+// from many goroutines — through the name-resolution path, so shard
+// routing and the copy-on-write read index are both exercised — while
+// another goroutine keeps exporting snapshots. Every update must land.
+// Run under -race this also proves the lookup fast path is clean.
+func TestShardedNoLostUpdates(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		goroutines = 8
+		names      = 16
+		perG       = 2000
+	)
+	counterNames := make([]string, names)
+	for i := range counterNames {
+		counterNames[i] = Name("test_ops_total", "node", fmt.Sprintf("n%02d", i))
+	}
+
+	stop := make(chan struct{})
+	var exporterDone sync.WaitGroup
+	exporterDone.Add(1)
+	go func() {
+		defer exporterDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := reg.Snapshot()
+				var buf bytes.Buffer
+				if err := snap.WriteText(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				name := counterNames[(g+i)%names]
+				reg.Counter(name).Inc()
+				reg.Gauge(name).Add(1)
+				reg.Histogram(name).ObserveDuration(time.Duration(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	exporterDone.Wait()
+
+	var totalC, totalG int64
+	var totalH uint64
+	for _, name := range counterNames {
+		totalC += reg.Counter(name).Value()
+		totalG += reg.Gauge(name).Value()
+		totalH += reg.Histogram(name).Count()
+	}
+	want := int64(goroutines * perG)
+	if totalC != want {
+		t.Errorf("counter updates lost: %d, want %d", totalC, want)
+	}
+	if totalG != want {
+		t.Errorf("gauge updates lost: %d, want %d", totalG, want)
+	}
+	if totalH != uint64(want) {
+		t.Errorf("histogram observations lost: %d, want %d", totalH, want)
+	}
+}
+
+// TestShardedConcurrentCreates races many goroutines creating the SAME
+// instruments; every goroutine must get the same pointer back and the
+// export must list each name exactly once.
+func TestShardedConcurrentCreates(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 8
+	ptrs := make([]*Counter, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := reg.Counter(fmt.Sprintf("race_counter_%02d", i))
+				if i == 0 {
+					ptrs[g] = c
+				}
+				c.Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if ptrs[g] != ptrs[0] {
+			t.Fatalf("goroutine %d got a different *Counter for the same name", g)
+		}
+	}
+	snap := reg.Snapshot()
+	seen := map[string]int{}
+	for _, c := range snap.Counters {
+		seen[c.Name]++
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("counter %s exported %d times", name, n)
+		}
+	}
+	if got := reg.Counter("race_counter_00").Value(); got != goroutines {
+		t.Errorf("race_counter_00 = %d, want %d", got, goroutines)
+	}
+}
+
+// seedWorkload drives a fixed, deterministic workload into a registry.
+func seedWorkload(reg *Registry) {
+	clk := vclock.New()
+	reg.SetClock(clk)
+	for i := 0; i < 500; i++ {
+		node := fmt.Sprintf("node-%02d", i%7)
+		reg.Counter(Name("invocations_total", "node", node)).Inc()
+		reg.Gauge(Name("queue_depth", "node", node)).Set(int64(i % 13))
+		reg.Histogram(Name("invoke_latency", "node", node)).
+			ObserveDuration(time.Duration(i*i) * time.Microsecond)
+		clk.Advance(time.Millisecond)
+	}
+	reg.Counter("plain_counter").Add(42)
+	reg.HistogramWith("bytes_hist", "bytes", []float64{10, 100, 1000}).Observe(55)
+}
+
+// TestGoldenExportShardInvariance is the golden determinism test: the
+// same seeded workload exported from a single-stripe registry and from
+// the default sharded registry must produce byte-identical text and
+// JSON dumps. Shard count must never leak into an artifact.
+func TestGoldenExportShardInvariance(t *testing.T) {
+	flat := NewRegistryShards(1)
+	sharded := NewRegistry()
+	if flat.Shards() != 1 || sharded.Shards() != DefaultShards {
+		t.Fatalf("shard counts: flat %d, sharded %d", flat.Shards(), sharded.Shards())
+	}
+	seedWorkload(flat)
+	seedWorkload(sharded)
+
+	for _, format := range []string{"text", "json"} {
+		var fb, sb bytes.Buffer
+		if err := flat.Snapshot().WriteFormat(&fb, format); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Snapshot().WriteFormat(&sb, format); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fb.Bytes(), sb.Bytes()) {
+			t.Errorf("%s export differs between 1 and %d shards:\n--- flat ---\n%s\n--- sharded ---\n%s",
+				format, DefaultShards, fb.String(), sb.String())
+		}
+	}
+}
+
+// TestShardDistribution sanity-checks the FNV routing: per-node
+// labeled names must not all land on one stripe.
+func TestShardDistribution(t *testing.T) {
+	reg := NewRegistry()
+	stripes := map[*regShard]int{}
+	for i := 0; i < 64; i++ {
+		name := Name("invocations_total", "node", fmt.Sprintf("node-%02d", i))
+		stripes[reg.shard(name)]++
+	}
+	if len(stripes) < DefaultShards/4 {
+		t.Errorf("64 node-labeled names landed on only %d of %d stripes", len(stripes), DefaultShards)
+	}
+}

@@ -239,6 +239,143 @@ func (b *Broker) produce(topicName, key string, value []byte, at time.Duration, 
 	return partitionID, offset, nil
 }
 
+// BatchRecord is one record of a batched produce.
+type BatchRecord struct {
+	Key   string
+	Value []byte
+}
+
+// ProduceBatch appends a batch of records to one topic under a single
+// broker-lock acquisition and one lock acquisition per touched
+// partition (unstamped; see ProduceBatchAt).
+func (b *Broker) ProduceBatch(topicName string, recs []BatchRecord) (offsets []int64, err error) {
+	return b.produceBatch(topicName, recs, 0, false, nil)
+}
+
+// ProduceBatchAt is ProduceBatch with the producer's virtual-clock
+// position; every record in the batch is stamped with it.
+func (b *Broker) ProduceBatchAt(topicName string, recs []BatchRecord, at time.Duration) (offsets []int64, err error) {
+	return b.produceBatch(topicName, recs, at, true, nil)
+}
+
+// ProduceBatchTracedAt is ProduceBatchAt under an event scope: the
+// batch emits ONE "produce-batch" journal event (not one per record)
+// and every record carries its reference, so consumes still link back
+// causally while the journal cost is amortized across the batch.
+func (b *Broker) ProduceBatchTracedAt(topicName string, recs []BatchRecord, at time.Duration, sc *events.Scope) (offsets []int64, err error) {
+	return b.produceBatch(topicName, recs, at, true, sc)
+}
+
+// produceBatch amortizes lock acquisition across a batch while
+// preserving the unbatched path's semantics:
+//
+//   - fault sites: the msgbus.produce site is consulted once per
+//     record (same seeded schedule as N single produces); any injected
+//     fault fails the whole batch before a single record lands, so a
+//     partial batch is never visible.
+//   - FIFO: records land in their partitions in batch order, and the
+//     whole batch appends atomically per partition — records of one
+//     batch are contiguous in each partition's log.
+func (b *Broker) produceBatch(topicName string, recs []BatchRecord, at time.Duration, stamped bool, sc *events.Scope) ([]int64, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	for range recs {
+		if err := b.faults.InjectTraced(faults.SiteBusProduce, nil, sc, at); err != nil {
+			return nil, fmt.Errorf("msgbus: produce batch to %q: %w", topicName, err)
+		}
+	}
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	ref := sc.Instant("msgbus", "produce-batch", at,
+		events.A("topic", topicName), events.A("count", strconv.Itoa(len(recs))))
+	// Group record indexes by partition so each partition lock is
+	// taken exactly once.
+	partIdx := make(map[*partition]int, len(t.partitions))
+	for i, p := range t.partitions {
+		partIdx[p] = i
+	}
+	byPart := make(map[*partition][]int)
+	for i, rec := range recs {
+		p := t.partitionFor(rec.Key)
+		byPart[p] = append(byPart[p], i)
+	}
+	offsets := make([]int64, len(recs))
+	for _, p := range t.partitions {
+		idxs := byPart[p]
+		if len(idxs) == 0 {
+			continue
+		}
+		p.mu.Lock()
+		base := int64(len(p.records))
+		for k, i := range idxs {
+			offsets[i] = base + int64(k)
+			p.records = append(p.records, Message{
+				Topic:      topicName,
+				Partition:  partIdx[p],
+				Offset:     offsets[i],
+				Key:        recs[i].Key,
+				Value:      append([]byte(nil), recs[i].Value...),
+				ProducedAt: at,
+				stamped:    stamped,
+				Produced:   ref,
+			})
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	b.produced.Add(int64(len(recs)))
+	b.depth.Add(int64(len(recs)))
+	return offsets, nil
+}
+
+// ConsumeFrom returns up to max records of a partition starting at
+// offset, under a single lock acquisition — the batched counterpart of
+// repeated ConsumeAt calls. It returns ErrBadOffset when offset is past
+// the log end (offset == len is an empty, error-free read).
+func (b *Broker) ConsumeFrom(topicName string, partitionID int, offset int64, max int) ([]Message, error) {
+	return b.consumeFrom(topicName, partitionID, offset, max, 0, false)
+}
+
+// ConsumeFromAt is ConsumeFrom with the consumer's virtual-clock
+// position: queue dwell is recorded once per stamped record, exactly as
+// repeated single consumes would.
+func (b *Broker) ConsumeFromAt(topicName string, partitionID int, offset int64, max int, at time.Duration) ([]Message, error) {
+	return b.consumeFrom(topicName, partitionID, offset, max, at, true)
+}
+
+func (b *Broker) consumeFrom(topicName string, partitionID int, offset int64, max int, at time.Duration, clocked bool) ([]Message, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	if partitionID < 0 || partitionID >= len(t.partitions) {
+		return nil, fmt.Errorf("msgbus: topic %q has no partition %d", topicName, partitionID)
+	}
+	p := t.partitions[partitionID]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if offset < 0 || offset > int64(len(p.records)) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadOffset, offset, len(p.records))
+	}
+	end := int64(len(p.records))
+	if max > 0 && offset+int64(max) < end {
+		end = offset + int64(max)
+	}
+	out := append([]Message(nil), p.records[offset:end]...)
+	if clocked {
+		for _, m := range out {
+			if m.stamped && at >= m.ProducedAt {
+				b.dwell.ObserveDuration(at - m.ProducedAt)
+			}
+		}
+	}
+	b.consumed.Add(int64(len(out)))
+	return out, nil
+}
+
 // ConsumeAt returns the record at the given offset of a partition.
 func (b *Broker) ConsumeAt(topicName string, partitionID int, offset int64) (Message, error) {
 	t, err := b.topic(topicName)

@@ -1,0 +1,60 @@
+package timeseries
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// driveSampler replays a fixed workload into a registry and samples it
+// on a fixed cadence.
+func driveSampler(reg *metrics.Registry) *Sampler {
+	s := NewSampler(reg, 0)
+	s.AddProbe("derived_probe", func() float64 {
+		return float64(reg.Counter("invocations_total").Value()) / 2
+	})
+	for i := 0; i < 50; i++ {
+		node := fmt.Sprintf("node-%02d", i%4)
+		reg.Counter("invocations_total").Inc()
+		reg.Counter(metrics.Name("node_invocations_total", "node", node)).Inc()
+		reg.Gauge(metrics.Name("queue_depth", "node", node)).Set(int64(i % 5))
+		reg.Histogram("invoke_latency").ObserveDuration(time.Duration(i) * time.Millisecond)
+		if i%5 == 0 {
+			s.Sample(time.Duration(i) * time.Second)
+		}
+	}
+	return s
+}
+
+// TestGoldenCSVShardInvariance extends the sharded-export golden
+// invariant one layer up: a timeseries sampler fed from a
+// single-stripe registry and one fed from the default sharded registry
+// must write byte-identical CSV and JSON artifacts for the same
+// workload. This catches shard-ordering leaks through the snapshot
+// path that the metrics-level golden test might mask.
+func TestGoldenCSVShardInvariance(t *testing.T) {
+	flatReg := metrics.NewRegistryShards(1)
+	shardedReg := metrics.NewRegistry()
+	flat := driveSampler(flatReg)
+	sharded := driveSampler(shardedReg)
+
+	for _, format := range []string{"csv", "json"} {
+		var fb, sb bytes.Buffer
+		if err := flat.WriteFormat(&fb, format); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.WriteFormat(&sb, format); err != nil {
+			t.Fatal(err)
+		}
+		if fb.Len() == 0 {
+			t.Fatalf("%s export is empty", format)
+		}
+		if !bytes.Equal(fb.Bytes(), sb.Bytes()) {
+			t.Errorf("%s export differs between 1 and %d registry shards:\n--- flat ---\n%s\n--- sharded ---\n%s",
+				format, metrics.DefaultShards, fb.String(), sb.String())
+		}
+	}
+}

@@ -43,11 +43,30 @@ func (s *Span) Duration() time.Duration {
 // slice is owned by the span and must not be modified.
 func (s *Span) Children() []*Span { return s.children }
 
+// spanArenaChunk sizes the breakdown's span arena: one allocation
+// covers a typical invocation's full span tree (7 pipeline stages plus
+// nested startup spans).
+const spanArenaChunk = 16
+
+// newSpan carves a span out of the breakdown's arena, allocating a
+// fresh chunk when the current one is exhausted. Handed-out pointers
+// stay valid because the chunk's backing array is never moved — the
+// arena slice only advances through it.
+func (b *Breakdown) newSpan() *Span {
+	if len(b.arena) == 0 {
+		b.arena = make([]Span, spanArenaChunk)
+	}
+	s := &b.arena[0]
+	b.arena = b.arena[1:]
+	return s
+}
+
 // BeginSpan opens a span at virtual time `at`, nested under the
 // innermost open span (or at the root when none is open). Like the
 // rest of Breakdown it is not safe for concurrent use.
 func (b *Breakdown) BeginSpan(name string, p Phase, at time.Duration) *Span {
-	s := &Span{Name: name, Phase: p, Start: at, End: -1}
+	s := b.newSpan()
+	*s = Span{Name: name, Phase: p, Start: at, End: -1}
 	if n := len(b.open); n > 0 {
 		parent := b.open[n-1]
 		parent.children = append(parent.children, s)

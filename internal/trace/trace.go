@@ -25,13 +25,53 @@ const (
 // Breakdown accumulates virtual time per phase for one invocation.
 // The zero value is ready to use. Breakdown is not safe for concurrent
 // use; each invocation owns its own.
+//
+// The three standard phases live in fixed slots (no per-invocation
+// map allocation on the hot path); phases outside the standard three
+// fall back to a lazily allocated map.
 type Breakdown struct {
-	durations map[Phase]time.Duration
-	events    []Event
+	durs    [3]time.Duration // PhaseStartup, PhaseExec, PhaseOthers
+	present [3]bool          // whether the slot was ever charged (even 0)
+	extra   map[Phase]time.Duration
+	events  []Event
 	// spans are the root spans of the invocation's span tree; open is
 	// the stack of spans begun but not yet ended (see span.go).
 	spans []*Span
 	open  []*Span
+	// arena allocates spans in chunks so an invocation's ~dozen spans
+	// cost one allocation instead of one each (see span.go).
+	arena []Span
+}
+
+// slot maps a standard phase to its fixed index, or -1.
+func slot(p Phase) int {
+	switch p {
+	case PhaseStartup:
+		return 0
+	case PhaseExec:
+		return 1
+	case PhaseOthers:
+		return 2
+	}
+	return -1
+}
+
+// forEachPhase visits every charged phase in sorted-name order:
+// exec, others, start-up slot among any extra phases.
+func (b *Breakdown) forEachPhase(fn func(p Phase, d time.Duration)) {
+	phases := make([]Phase, 0, 3+len(b.extra))
+	for i, p := range [3]Phase{PhaseStartup, PhaseExec, PhaseOthers} {
+		if b.present[i] {
+			phases = append(phases, p)
+		}
+	}
+	for p := range b.extra {
+		phases = append(phases, p)
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i] < phases[j] })
+	for _, p := range phases {
+		fn(p, b.Get(p))
+	}
 }
 
 // Event is a single timestamped accounting entry, useful for debugging a
@@ -47,16 +87,24 @@ func (b *Breakdown) Add(p Phase, label string, cost time.Duration) {
 	if cost < 0 {
 		panic(fmt.Sprintf("trace: negative cost %v for %s/%s", cost, p, label))
 	}
-	if b.durations == nil {
-		b.durations = make(map[Phase]time.Duration)
+	if i := slot(p); i >= 0 {
+		b.durs[i] += cost
+		b.present[i] = true
+	} else {
+		if b.extra == nil {
+			b.extra = make(map[Phase]time.Duration)
+		}
+		b.extra[p] += cost
 	}
-	b.durations[p] += cost
 	b.events = append(b.events, Event{Phase: p, Label: label, Cost: cost})
 }
 
 // Get returns the accumulated time for one phase.
 func (b *Breakdown) Get(p Phase) time.Duration {
-	return b.durations[p]
+	if i := slot(p); i >= 0 {
+		return b.durs[i]
+	}
+	return b.extra[p]
 }
 
 // Startup, Exec, and Others are convenience accessors for the three
@@ -67,8 +115,8 @@ func (b *Breakdown) Others() time.Duration  { return b.Get(PhaseOthers) }
 
 // Total returns the end-to-end latency: the sum over all phases.
 func (b *Breakdown) Total() time.Duration {
-	var t time.Duration
-	for _, d := range b.durations {
+	t := b.durs[0] + b.durs[1] + b.durs[2]
+	for _, d := range b.extra {
 		t += d
 	}
 	return t
@@ -85,9 +133,9 @@ func (b *Breakdown) Merge(other *Breakdown) {
 	if other == nil {
 		return
 	}
-	for p, d := range other.durations {
+	other.forEachPhase(func(p Phase, d time.Duration) {
 		b.Add(p, "merged", d)
-	}
+	})
 	for _, s := range other.spans {
 		b.spans = append(b.spans, cloneSpan(s))
 	}
@@ -97,9 +145,12 @@ func (b *Breakdown) Merge(other *Breakdown) {
 // at clone time remain open only in the original; the clone holds an
 // independent deep copy of the span tree.
 func (b *Breakdown) Clone() *Breakdown {
-	c := &Breakdown{durations: make(map[Phase]time.Duration, len(b.durations))}
-	for p, d := range b.durations {
-		c.durations[p] = d
+	c := &Breakdown{durs: b.durs, present: b.present}
+	if len(b.extra) > 0 {
+		c.extra = make(map[Phase]time.Duration, len(b.extra))
+		for p, d := range b.extra {
+			c.extra[p] = d
+		}
 	}
 	c.events = append(c.events, b.events...)
 	for _, s := range b.spans {
@@ -111,15 +162,10 @@ func (b *Breakdown) Clone() *Breakdown {
 // String renders the breakdown compactly, phases sorted by name, e.g.
 // "exec=1.2ms others=300µs start-up=12ms total=13.5ms".
 func (b *Breakdown) String() string {
-	phases := make([]string, 0, len(b.durations))
-	for p := range b.durations {
-		phases = append(phases, string(p))
-	}
-	sort.Strings(phases)
 	var sb strings.Builder
-	for _, p := range phases {
-		fmt.Fprintf(&sb, "%s=%v ", p, b.durations[Phase(p)])
-	}
+	b.forEachPhase(func(p Phase, d time.Duration) {
+		fmt.Fprintf(&sb, "%s=%v ", p, d)
+	})
 	fmt.Fprintf(&sb, "total=%v", b.Total())
 	return sb.String()
 }
