@@ -17,10 +17,11 @@ test:
 # The concurrency-bearing subsystems — the cluster scheduler, the
 # metrics registry, the shared lifecycle pool, the Fireworks invoke
 # pipeline, the fault-injection plane, the event journal, the message
-# bus, the host memory accountant, and the telemetry sampler/watchdog —
-# additionally run under the race detector.
+# bus, the host memory accountant, the chunked snapshot store, and the
+# telemetry sampler/watchdog — additionally run under the race
+# detector.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/... ./internal/events/... ./internal/msgbus/... ./internal/mem/... ./internal/timeseries/...
+	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/... ./internal/events/... ./internal/msgbus/... ./internal/mem/... ./internal/snapshot/... ./internal/timeseries/...
 
 # trace-demo runs a faulted fwsim demo, dumps its event journal as
 # Chrome trace-event JSON, and sanity-checks that the dump parses and

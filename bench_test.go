@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/experiments"
@@ -244,6 +245,111 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRestoreDelta measures pulling an evicted image back from
+// remote storage two ways: "flat" is the faithful pre-chunking arm
+// (no local pool to delta against — every byte of the image moves, as
+// the store did before content addressing), "delta" transfers only the
+// chunks missing from the local pool, which still holds the shared
+// base-runtime image. Both report the deterministic virtual fetch cost
+// and the bytes moved; benchgate derives the speedup and bytes ratio.
+func BenchmarkRestoreDelta(b *testing.B) {
+	w := workloads.NetLatency(runtime.LangNode)
+	setup := func(b *testing.B) *platform.Env {
+		b.Helper()
+		env := platform.NewEnv(platform.EnvConfig{RemoteSnapshotStorage: true})
+		fw := core.New(env, core.Options{})
+		if _, err := fw.Install(w.Function); err != nil {
+			b.Fatal(err)
+		}
+		// Evict the function image; the shared base stays resident.
+		env.Snaps.Remove(w.Name)
+		return env
+	}
+	b.Run("flat", func(b *testing.B) {
+		env := setup(b)
+		var virtual int64
+		var moved uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clock := vclock.New()
+			snap, err := env.RemoteSnaps.Fetch(w.Name, clock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			virtual += int64(clock.Now())
+			moved = snap.TotalBytes()
+		}
+		b.ReportMetric(float64(virtual)/float64(b.N), "ns_virtual/op")
+		b.ReportMetric(float64(moved), "vbytes/op")
+	})
+	b.Run("delta", func(b *testing.B) {
+		env := setup(b)
+		var virtual int64
+		var moved uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clock := vclock.New()
+			snap, err := env.RemoteSnaps.FetchTraced(w.Name, env.Snaps, clock, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			virtual += int64(clock.Now())
+			moved = chunk.BytesOf(env.Snaps.MissingChunks(snap.Manifest().Chunks()))
+		}
+		b.ReportMetric(float64(virtual)/float64(b.N), "ns_virtual/op")
+		b.ReportMetric(float64(moved), "vbytes/op")
+	})
+}
+
+// BenchmarkPrefetchReplay measures the hypervisor restore path with and
+// without a recorded working set: "demand" pages the resident set in
+// fault by fault, "replay" prefetches the chunks and pages the first
+// restore recorded (REAP's record-and-replay applied to post-JIT
+// snapshots). Virtual restore cost is deterministic; benchgate derives
+// the replay speedup.
+func BenchmarkPrefetchReplay(b *testing.B) {
+	env := platform.NewEnv(platform.EnvConfig{})
+	fw := core.New(env, core.Options{REAPPrefetch: true})
+	w := workloads.Fact(runtime.LangNode)
+	if _, err := fw.Install(w.Function); err != nil {
+		b.Fatal(err)
+	}
+	// The first invoke demand-pages and records the working set.
+	params := platform.MustParams(map[string]any{"n": 9999991, "rounds": 1})
+	if _, err := fw.Invoke(w.Name, params, platform.InvokeOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := env.Snaps.Get(w.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := snap.WorkingSet()
+	if rec == nil {
+		b.Fatal("first invoke left no working-set record")
+	}
+	restore := func(b *testing.B, opts vmm.RestoreOptions) {
+		b.Helper()
+		var virtual int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clock := vclock.New()
+			v, err := env.HV.Restore(snap, opts, clock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			virtual += int64(clock.Now())
+			b.StopTimer()
+			if err := v.Stop(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(virtual)/float64(b.N), "ns_virtual/op")
+	}
+	b.Run("demand", func(b *testing.B) { restore(b, vmm.RestoreOptions{}) })
+	b.Run("replay", func(b *testing.B) { restore(b, vmm.RestoreOptions{Prefetch: rec}) })
 }
 
 // BenchmarkPSSAccounting stresses the page-sharing arithmetic behind

@@ -119,6 +119,18 @@ func derive(r *Report) {
 	ratio("metrics_parallel_speedup", "BenchmarkMetricsParallel/flat", "BenchmarkMetricsParallel/sharded")
 	ratio("journal_parallel_speedup", "BenchmarkJournalParallel/flat", "BenchmarkJournalParallel/sharded")
 	ratio("msgbus_batch_speedup", "BenchmarkMsgbusBatch/single", "BenchmarkMsgbusBatch/batch")
+	// Virtual-time and virtual-bytes ratios are deterministic (the
+	// simulator charges fixed costs on the virtual clock), so they gate
+	// much tighter than wall-clock numbers.
+	custom := func(key, unit, num, den string) {
+		n, d := r.result(num), r.result(den)
+		if n != nil && d != nil && d.Custom[unit] > 0 {
+			r.Derived[key] = n.Custom[unit] / d.Custom[unit]
+		}
+	}
+	custom("restore_delta_speedup", "ns_virtual/op", "BenchmarkRestoreDelta/flat", "BenchmarkRestoreDelta/delta")
+	custom("restore_delta_bytes_ratio", "vbytes/op", "BenchmarkRestoreDelta/flat", "BenchmarkRestoreDelta/delta")
+	custom("prefetch_replay_speedup", "ns_virtual/op", "BenchmarkPrefetchReplay/demand", "BenchmarkPrefetchReplay/replay")
 }
 
 // Tolerances bound how far a fresh run may drift from the committed
@@ -161,6 +173,14 @@ func defaultTolerances() Tolerances {
 			// Amortized lock acquisition: algorithmic, holds on any
 			// machine.
 			"msgbus_batch_speedup": 1.3,
+			// Virtual-clock ratios: deterministic by construction, so
+			// the floors sit just under the designed values. A delta
+			// fetch must move far fewer bytes (and cost far less) than
+			// the faithful whole-image arm, and a replayed restore must
+			// beat demand paging.
+			"restore_delta_speedup":     5.0,
+			"restore_delta_bytes_ratio": 5.0,
+			"prefetch_replay_speedup":   1.1,
 		},
 	}
 }

@@ -22,6 +22,12 @@ func sampleReport() *Report {
 	r.result("BenchmarkMetricsParallel/flat").NsPerOp = 2000
 	r.result("BenchmarkJournalParallel/flat").NsPerOp = 1100
 	r.result("BenchmarkMsgbusBatch/single").NsPerOp = 1700
+	// The content-addressed store ratios derive from virtual-clock
+	// custom metrics, not wall-clock ns/op.
+	r.result("BenchmarkRestoreDelta/flat").Custom = map[string]float64{"ns_virtual/op": 190e6, "vbytes/op": 230e6}
+	r.result("BenchmarkRestoreDelta/delta").Custom = map[string]float64{"ns_virtual/op": 13e6, "vbytes/op": 10e6}
+	r.result("BenchmarkPrefetchReplay/demand").Custom = map[string]float64{"ns_virtual/op": 10.4e6}
+	r.result("BenchmarkPrefetchReplay/replay").Custom = map[string]float64{"ns_virtual/op": 7.6e6}
 	derive(r)
 	return r
 }
@@ -67,6 +73,33 @@ func TestCompareFailsOnSyntheticRegression(t *testing.T) {
 		vs := compare(base, fresh, defaultTolerances())
 		if !hasViolation(vs, "msgbus_batch_speedup", "want >=") {
 			t.Fatalf("collapsed msgbus speedup not caught: %v", vs)
+		}
+	})
+
+	t.Run("delta_fetch_collapse", func(t *testing.T) {
+		// A regression that refetches the whole image (losing the chunk
+		// delta) shows up as the delta arm's virtual cost and bytes
+		// climbing to the flat arm's.
+		fresh := sampleReport()
+		flat := fresh.result("BenchmarkRestoreDelta/flat").Custom
+		fresh.result("BenchmarkRestoreDelta/delta").Custom = map[string]float64{
+			"ns_virtual/op": flat["ns_virtual/op"], "vbytes/op": flat["vbytes/op"]}
+		derive(fresh)
+		vs := compare(base, fresh, defaultTolerances())
+		if !hasViolation(vs, "restore_delta_speedup", "want >=") ||
+			!hasViolation(vs, "restore_delta_bytes_ratio", "want >=") {
+			t.Fatalf("collapsed delta fetch not caught: %v", vs)
+		}
+	})
+
+	t.Run("prefetch_collapse", func(t *testing.T) {
+		fresh := sampleReport()
+		fresh.result("BenchmarkPrefetchReplay/replay").Custom["ns_virtual/op"] =
+			fresh.result("BenchmarkPrefetchReplay/demand").Custom["ns_virtual/op"]
+		derive(fresh)
+		vs := compare(base, fresh, defaultTolerances())
+		if !hasViolation(vs, "prefetch_replay_speedup", "want >=") {
+			t.Fatalf("collapsed prefetch speedup not caught: %v", vs)
 		}
 	})
 

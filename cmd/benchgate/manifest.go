@@ -50,6 +50,14 @@ var manifest = []BenchEntry{
 	{Name: "BenchmarkSnapshotRestore", Gate: true},
 	{Name: "BenchmarkPSSAccounting"},
 
+	// Content-addressed store benchmarks: gated, including the derived
+	// flat/delta fetch ratios (virtual time and bytes moved) and the
+	// demand/replay restore speedup.
+	{Name: "BenchmarkRestoreDelta/flat", Gate: true},
+	{Name: "BenchmarkRestoreDelta/delta", Gate: true},
+	{Name: "BenchmarkPrefetchReplay/demand", Gate: true},
+	{Name: "BenchmarkPrefetchReplay/replay", Gate: true},
+
 	// Harness contention benchmarks: gated, including the derived
 	// sharded/flat and batch/single speedups.
 	{Name: "BenchmarkMetricsParallel/flat", Gate: true},

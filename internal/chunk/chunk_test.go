@@ -1,0 +1,76 @@
+package chunk
+
+import "testing"
+
+func TestBuildSizesSumExactly(t *testing.T) {
+	m := Build([]Region{
+		{Class: "base:kernel", Kind: "kernel", Bytes: 103 << 20},
+		{Class: "fn:hello_ab", Kind: "heap", Bytes: 11<<20 + 137}, // not chunk-aligned
+	})
+	if m.TotalBytes() != (103<<20)+(11<<20)+137 {
+		t.Fatalf("TotalBytes = %d", m.TotalBytes())
+	}
+	var sum uint64
+	for _, c := range m.Chunks() {
+		if c.Bytes == 0 || c.Bytes > Size {
+			t.Fatalf("chunk size %d out of range", c.Bytes)
+		}
+		sum += c.Bytes
+	}
+	if sum != m.TotalBytes() {
+		t.Fatalf("chunk sizes sum to %d, want %d", sum, m.TotalBytes())
+	}
+	if m.Regions() != 2 {
+		t.Fatalf("Regions = %d", m.Regions())
+	}
+	if got := len(m.RegionChunks(0)) + len(m.RegionChunks(1)); got != m.Len() {
+		t.Fatalf("region chunks %d != total %d", got, m.Len())
+	}
+}
+
+func TestIDsDeterministicAndClassSensitive(t *testing.T) {
+	a := Build([]Region{{Class: "base:runtime:node", Kind: "runtime", Bytes: 64 << 20}})
+	b := Build([]Region{{Class: "base:runtime:node", Kind: "runtime", Bytes: 64 << 20}})
+	for i := range a.Chunks() {
+		if a.Chunks()[i].ID != b.Chunks()[i].ID {
+			t.Fatalf("same class produced different IDs at chunk %d", i)
+		}
+	}
+	c := Build([]Region{{Class: "base:runtime:python", Kind: "runtime", Bytes: 64 << 20}})
+	if a.Chunks()[0].ID == c.Chunks()[0].ID {
+		t.Fatal("different classes produced the same chunk ID")
+	}
+	// Two runs of the same (class, kind) within one image must not
+	// self-collide: the ordinal distinguishes them.
+	d := Build([]Region{
+		{Class: "x", Kind: "heap", Bytes: Size},
+		{Class: "x", Kind: "heap", Bytes: Size},
+	})
+	if d.UniqueBytes() != 2*Size {
+		t.Fatalf("repeated region self-deduped: unique %d", d.UniqueBytes())
+	}
+}
+
+func TestDeltaOverBase(t *testing.T) {
+	base := Build([]Region{
+		{Class: "base:kernel", Kind: "kernel", Bytes: 100 << 20},
+		{Class: "base:runtime:node", Kind: "runtime", Bytes: 64 << 20},
+	})
+	fn := Build([]Region{
+		{Class: "fn:hello_ab", Kind: "heap", Bytes: 12 << 20},
+		{Class: "base:kernel", Kind: "kernel", Bytes: 100 << 20},
+		{Class: "base:runtime:node", Kind: "runtime", Bytes: 64 << 20},
+	})
+	delta := fn.Delta(base)
+	if got := BytesOf(delta); got != 12<<20 {
+		t.Fatalf("delta = %d bytes, want the 12 MiB function heap", got)
+	}
+	for _, c := range delta {
+		if c.Class != "fn:hello_ab" {
+			t.Fatalf("delta contains base chunk of class %q", c.Class)
+		}
+	}
+	if got := BytesOf(fn.Delta(nil)); got != fn.TotalBytes() {
+		t.Fatalf("delta over nil = %d, want full image %d", got, fn.TotalBytes())
+	}
+}

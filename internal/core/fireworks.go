@@ -47,8 +47,12 @@ const snapshotWorkingSetBytes = 36 << 20
 
 // Options configures a Framework.
 type Options struct {
-	// REAPPrefetch enables REAP-style working-set prefetching on
-	// restore (paper §7: complementary optimization).
+	// REAPPrefetch enables REAP-style record-and-prefetch on restore
+	// (paper §7: complementary optimization). The first restore of a
+	// snapshot demand-pages and records the working set actually
+	// touched (resident prefix + pages dirtied by execution, from the
+	// host's fault telemetry); later restores replay the record with
+	// sequential reads instead of random demand faults.
 	REAPPrefetch bool
 	// RetainInstances keeps restored microVMs alive after their
 	// invocation completes — required by the consolidation experiments
@@ -270,27 +274,87 @@ func (f *Framework) Install(fn platform.Function) (*platform.InstallReport, erro
 	return report, nil
 }
 
-// takeSnapshot captures guest state and memory at the snapshot point.
+// codeHash fingerprints a function's deployed code (FNV-1a over the
+// language, entry point, and source). It is the {code_hash} half of the
+// snapshot content key: redeploying changed code changes the hash, so
+// the stale image is invalidated instead of silently reused.
+func codeHash(fn platform.Function) string {
+	var h uint64 = 14695981039346656037
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	mix(string(fn.Lang))
+	mix(fn.EntryName())
+	mix(fn.Source)
+	return fmt.Sprintf("%012x", h&0xffffffffffff)
+}
+
+// BaseImageName keys the shared base-runtime (post-load) image one per
+// language: every function snapshot of that language is a delta over
+// it in the chunked store.
+func BaseImageName(lang runtime.Lang) string { return "base/" + string(lang) }
+
+// takeSnapshot captures guest state and memory at the snapshot point,
+// storing the image as a content-addressed delta over the shared
+// base-runtime image (kernel + runtime + libraries chunks are keyed by
+// language, so the pool holds them once per language; only the
+// function's private heap/JIT chunks — keyed {function_id}_{code_hash}
+// — add bytes).
 func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.Runtime, clock *vclock.Clock, sc *events.Scope) error {
 	template, err := rt.SnapshotTemplate()
 	if err != nil {
 		return err
 	}
 	foot := rt.Footprint()
-	// Region order matters: execution dirties heap pages first.
-	specs := []vmm.RegionSpec{
-		{Kind: mem.KindHeap, Bytes: foot.ModuleCode + rt.Model.HeapPerInvokeBytes + inst.fn.DirtyBytesPerRun},
-		{Kind: mem.KindKernel, Bytes: vmm.CostKernelBytes},
-		{Kind: mem.KindRuntime, Bytes: foot.RuntimeImage},
-		{Kind: mem.KindLibrary, Bytes: foot.Libraries},
+	lang := inst.fn.Lang
+	contentKey := fmt.Sprintf("%s_%s", inst.fn.Name, codeHash(inst.fn))
+	baseName := BaseImageName(lang)
+	baseSpecs := []vmm.RegionSpec{
+		{Kind: mem.KindKernel, Bytes: vmm.CostKernelBytes, Content: "base:kernel"},
+		{Kind: mem.KindRuntime, Bytes: foot.RuntimeImage, Content: "base:runtime:" + string(lang)},
+		{Kind: mem.KindLibrary, Bytes: foot.Libraries, Content: "base:lib:" + string(lang)},
 	}
+	// Register the shared base image once per language: a real capture
+	// of the post-load guest (kernel, runtime, libraries — no function
+	// state), whose chunks every later function snapshot dedups
+	// against.
+	if !f.env.Snaps.Has(baseName) {
+		base, berr := f.env.HV.TakeSnapshot(vm, vmm.SnapPostLoad, baseSpecs, snapshotWorkingSetBytes, nil, clock)
+		if berr != nil {
+			return berr
+		}
+		base.ContentKey = "base_" + string(lang)
+		sc.Instant("vmm", "snapshot", clock.Now(),
+			events.A("vm", vm.ID), events.A("snapshot", base.ID), events.A("image", baseName))
+		if perr := f.env.Snaps.Put(baseName, base); perr != nil {
+			return f.classifyPutError(baseName, perr)
+		}
+		if f.env.RemoteSnaps != nil {
+			f.env.RemoteSnaps.UploadTraced(baseName, base, clock, sc)
+		}
+	}
+	// Region order matters: execution dirties heap pages first. The
+	// heap (and JIT-code) regions carry the function's private content
+	// class; the kernel/runtime/library regions repeat the base classes
+	// and therefore cost nothing in the chunk pool.
+	specs := []vmm.RegionSpec{
+		{Kind: mem.KindHeap, Bytes: foot.ModuleCode + rt.Model.HeapPerInvokeBytes + inst.fn.DirtyBytesPerRun, Content: "fn:" + contentKey},
+	}
+	specs = append(specs, baseSpecs...)
 	if foot.JITCode > 0 {
-		specs = append(specs, vmm.RegionSpec{Kind: mem.KindJITCode, Bytes: foot.JITCode})
+		specs = append(specs, vmm.RegionSpec{Kind: mem.KindJITCode, Bytes: foot.JITCode, Content: "fn:" + contentKey})
 	}
 	snap, err := f.env.HV.TakeSnapshot(vm, vmm.SnapPostJIT, specs, snapshotWorkingSetBytes, template, clock)
 	if err != nil {
 		return err
 	}
+	snap.ContentKey = contentKey
+	snap.BaseKey = baseName
 	sc.Instant("vmm", "snapshot", clock.Now(),
 		events.A("vm", vm.ID), events.A("snapshot", snap.ID))
 	if err := f.env.Snaps.Put(inst.fn.Name, snap); err != nil {
@@ -298,7 +362,8 @@ func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.R
 	}
 	// With remote storage configured, the install also uploads the
 	// image, so later local evictions cost a network fetch instead of a
-	// reinstall (§6).
+	// reinstall (§6). Base chunks are already remote (uploaded above),
+	// so this transfer moves only the function's delta.
 	if f.env.RemoteSnaps != nil {
 		f.env.RemoteSnaps.UploadTraced(inst.fn.Name, snap, clock, sc)
 	}
@@ -465,7 +530,7 @@ func (f *Framework) stageSnapshot(st *invokeState, name string, inv *platform.In
 		fetchMark := inv.Clock.Now()
 		err = f.retrier.DoTraced(inv.Clock, inv.Trace, "remote-fetch", func() error {
 			var ferr error
-			snap, ferr = f.env.RemoteSnaps.FetchTraced(name, inv.Clock, inv.Trace)
+			snap, ferr = f.env.RemoteSnaps.FetchTraced(name, f.env.Snaps, inv.Clock, inv.Trace)
 			return ferr
 		})
 		if err == nil {
@@ -574,9 +639,18 @@ func (f *Framework) stageRestore(st *invokeState, name string, inv *platform.Inv
 	// A restore that exceeds the per-attempt deadline (a latency-spike
 	// fault) leaves a running clone behind; the discard hook stops it
 	// before the retry restores a fresh one.
+	ropts := vmm.RestoreOptions{}
+	if f.opts.REAPPrefetch {
+		// Replay the recorded working set when one exists (captured on
+		// this snapshot's first restored invocation); the first restore
+		// demand-pages and records.
+		if ropts.Prefetch = st.snap.WorkingSet(); ropts.Prefetch != nil {
+			f.env.Metrics.Counter("fireworks_prefetch_replays_total").Inc()
+		}
+	}
 	var vm *vmm.MicroVM
 	err := f.retrier.DoWithDiscardTraced(inv.Clock, inv.Trace, "vm-restore", func() error {
-		restored, rerr := f.env.HV.RestoreTraced(st.snap, vmm.RestoreOptions{REAPPrefetch: f.opts.REAPPrefetch}, inv.Clock, inv.Trace)
+		restored, rerr := f.env.HV.RestoreTraced(st.snap, ropts, inv.Clock, inv.Trace)
 		if rerr != nil {
 			return rerr
 		}
@@ -739,6 +813,16 @@ func (f *Framework) stageRelease(st *invokeState, name string, inv *platform.Inv
 			vm.DirtyKind(mem.KindJITCode, rt.JITCodeBytes())
 		}
 		instance.heapDirtied = true
+	}
+	if f.opts.REAPPrefetch && !st.warm && st.snap != nil && st.snap.WorkingSet() == nil {
+		// First restored invocation of this snapshot: capture the REAP
+		// working-set record from the fault telemetry now that
+		// execution has dirtied its pages. Later restores replay it.
+		rec := st.snap.RecordWorkingSet(vm)
+		inv.Trace.Instant("snapshot", "ws-record", inv.Clock.Now(),
+			events.A("image", name),
+			events.A("chunks", fmt.Sprint(len(rec.ChunkIDs))),
+			events.A("bytes", fmt.Sprint(rec.Bytes)))
 	}
 	if st.pinned {
 		st.pinned = false

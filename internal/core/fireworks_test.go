@@ -19,6 +19,45 @@ func newFW(t *testing.T, opts core.Options) (*platform.Env, *core.Framework) {
 	return env, core.New(env, opts)
 }
 
+// probeDeltaSizes installs both workloads into a throwaway unbounded
+// env and measures, in chunk-pool bytes, the shared base-runtime image
+// and each function's private delta. Budget-sensitive tests derive
+// their store budgets from these instead of hardcoding image sizes:
+// under content dedup the pool cost of a second same-language function
+// is its delta, not another full image.
+func probeDeltaSizes(t *testing.T, a, b platform.Function) (base, da, db uint64) {
+	t.Helper()
+	env := platform.NewEnv(platform.EnvConfig{})
+	fw := core.New(env, core.Options{})
+	if _, err := fw.Install(a); err != nil {
+		t.Fatal(err)
+	}
+	u1 := env.Snaps.UsedBytes()
+	baseSnap, err := env.Snaps.Get(core.BaseImageName(a.Lang))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base = baseSnap.Manifest().UniqueBytes()
+	da = u1 - base
+	if _, err := fw.Install(b); err != nil {
+		t.Fatal(err)
+	}
+	db = env.Snaps.UsedBytes() - u1
+	if base == 0 || da == 0 || db == 0 {
+		t.Fatalf("degenerate probe: base=%d da=%d db=%d", base, da, db)
+	}
+	return base, da, db
+}
+
+// oneDeltaBudget returns a store budget that admits the shared base
+// image plus either function's delta, but not both deltas at once — the
+// chunked-store analog of the old "budget fits one image at a time".
+func oneDeltaBudget(t *testing.T, a, b platform.Function) uint64 {
+	t.Helper()
+	base, da, db := probeDeltaSizes(t, a, b)
+	return base + da + db - 1
+}
+
 func TestInstallCreatesPostJITSnapshot(t *testing.T) {
 	env, fw := newFW(t, core.Options{})
 	w := workloads.Fact(runtime.LangPython)
@@ -184,14 +223,17 @@ func TestFunctionChainsShareBreakdown(t *testing.T) {
 }
 
 func TestSnapshotEvictionSurfacesError(t *testing.T) {
-	env := platform.NewEnv(platform.EnvConfig{SnapshotDiskBudget: 300 << 20})
-	fw := core.New(env, core.Options{})
 	a := workloads.Fact(runtime.LangNode)
 	b := workloads.NetLatency(runtime.LangNode)
+	env := platform.NewEnv(platform.EnvConfig{
+		SnapshotDiskBudget: oneDeltaBudget(t, a.Function, b.Function),
+	})
+	fw := core.New(env, core.Options{})
 	if _, err := fw.Install(a.Function); err != nil {
 		t.Fatal(err)
 	}
-	// Installing b evicts a (each image ~240 MiB > half the budget).
+	// Installing b evicts a: the budget fits the shared base image plus
+	// one function delta, not two.
 	if _, err := fw.Install(b.Function); err != nil {
 		t.Fatal(err)
 	}
@@ -299,14 +341,16 @@ func TestRegenerateSnapshotChangesLayoutSeed(t *testing.T) {
 func TestRemoteStorageServesEvictedSnapshots(t *testing.T) {
 	// §6 extension: with remote object storage behind the bounded local
 	// store, an evicted snapshot costs a network fetch, not an error or
-	// a reinstall.
+	// a reinstall — and with the content-addressed store, the fetch
+	// moves only the function's delta: the base-runtime chunks are
+	// still resident locally.
+	a := workloads.Fact(runtime.LangNode)
+	b := workloads.NetLatency(runtime.LangNode)
 	env := platform.NewEnv(platform.EnvConfig{
-		SnapshotDiskBudget:    300 << 20, // one image at a time
+		SnapshotDiskBudget:    oneDeltaBudget(t, a.Function, b.Function),
 		RemoteSnapshotStorage: true,
 	})
 	fw := core.New(env, core.Options{})
-	a := workloads.Fact(runtime.LangNode)
-	b := workloads.NetLatency(runtime.LangNode)
 	if _, err := fw.Install(a.Function); err != nil {
 		t.Fatal(err)
 	}
@@ -321,14 +365,17 @@ func TestRemoteStorageServesEvictedSnapshots(t *testing.T) {
 	if err != nil {
 		t.Fatalf("evicted function failed despite remote storage: %v", err)
 	}
-	// The fetch shows up as a long (but sub-second) start-up.
-	if su := inv.Breakdown.Startup(); su < 100*time.Millisecond || su > time.Second {
-		t.Fatalf("startup with remote fetch = %v, want ~200ms", su)
+	// The fetch shows up in start-up — but as a delta transfer (a few
+	// MiB of function heap/JIT), well below the ~200 ms a full
+	// ~230 MiB image would cost.
+	if su := inv.Breakdown.Startup(); su < 15*time.Millisecond || su > 100*time.Millisecond {
+		t.Fatalf("startup with delta remote fetch = %v, want tens of ms", su)
 	}
 	if env.RemoteSnaps.Fetches() != 1 {
 		t.Fatalf("fetches = %d", env.RemoteSnaps.Fetches())
 	}
-	// The image is cached locally again: the next invoke is fast...
+	// The image is cached locally again: the next invoke is faster
+	// still (no fetch)...
 	inv2, err := fw.Invoke(a.Name, platform.MustParams(map[string]any{"n": 35, "rounds": 1}),
 		platform.InvokeOptions{})
 	if err != nil {
@@ -336,6 +383,10 @@ func TestRemoteStorageServesEvictedSnapshots(t *testing.T) {
 	}
 	if inv2.Breakdown.Startup() > 50*time.Millisecond {
 		t.Fatalf("second startup = %v, want local-resume speed", inv2.Breakdown.Startup())
+	}
+	if inv2.Breakdown.Startup() >= inv.Breakdown.Startup() {
+		t.Fatalf("local resume %v not faster than fetch-assisted start %v",
+			inv2.Breakdown.Startup(), inv.Breakdown.Startup())
 	}
 	// ...and b was evicted in turn, retrievable remotely as well.
 	if _, err := fw.Invoke(b.Name, platform.MustParams(nil), platform.InvokeOptions{}); err != nil {
@@ -351,10 +402,14 @@ func TestRemoteStorageServesEvictedSnapshots(t *testing.T) {
 }
 
 func TestREAPPrefetchSpeedsRestore(t *testing.T) {
+	// Record-and-prefetch semantics: the first restored invocation
+	// demand-pages and records the working set; the second replays the
+	// record with sequential reads and starts faster. A framework
+	// without REAPPrefetch never records and every restore costs the
+	// same.
 	envA, fwA := newFW(t, core.Options{})
 	envB, fwB := newFW(t, core.Options{REAPPrefetch: true})
 	_ = envA
-	_ = envB
 	w := workloads.NetLatency(runtime.LangNode)
 	if _, err := fwA.Install(w.Function); err != nil {
 		t.Fatal(err)
@@ -363,16 +418,37 @@ func TestREAPPrefetchSpeedsRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := platform.MustParams(nil)
-	a, err := fwA.Invoke(w.Name, p, platform.InvokeOptions{})
+	a1, err := fwA.Invoke(w.Name, p, platform.InvokeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := fwB.Invoke(w.Name, p, platform.InvokeOptions{})
+	a2, err := fwA.Invoke(w.Name, p, platform.InvokeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.Breakdown.Startup() >= a.Breakdown.Startup() {
-		t.Fatalf("REAP startup %v not faster than demand paging %v",
-			b.Breakdown.Startup(), a.Breakdown.Startup())
+	if a2.Breakdown.Startup() != a1.Breakdown.Startup() {
+		t.Fatalf("without REAP, startups differ: %v vs %v",
+			a1.Breakdown.Startup(), a2.Breakdown.Startup())
+	}
+	b1, err := fwB.Invoke(w.Name, p, platform.InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first restore has no record yet: demand paging, same cost as
+	// the non-REAP framework.
+	if b1.Breakdown.Startup() != a1.Breakdown.Startup() {
+		t.Fatalf("first REAP startup %v != demand-paged %v (record should not exist yet)",
+			b1.Breakdown.Startup(), a1.Breakdown.Startup())
+	}
+	b2, err := fwB.Invoke(w.Name, p, platform.InvokeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Breakdown.Startup() >= b1.Breakdown.Startup() {
+		t.Fatalf("REAP replay startup %v not faster than recording run %v",
+			b2.Breakdown.Startup(), b1.Breakdown.Startup())
+	}
+	if got := envB.Metrics.Counter("fireworks_prefetch_replays_total").Value(); got != 1 {
+		t.Fatalf("fireworks_prefetch_replays_total = %d, want 1", got)
 	}
 }

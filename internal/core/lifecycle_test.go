@@ -241,10 +241,12 @@ func TestFailedInvocationLeaksNothing(t *testing.T) {
 		}
 	})
 	t.Run("snapshotEvicted", func(t *testing.T) {
-		env := platform.NewEnv(platform.EnvConfig{SnapshotDiskBudget: 300 << 20})
-		fw := core.New(env, core.Options{})
 		a := workloads.Fact(runtime.LangNode)
 		b := workloads.NetLatency(runtime.LangNode)
+		env := platform.NewEnv(platform.EnvConfig{
+			SnapshotDiskBudget: oneDeltaBudget(t, a.Function, b.Function),
+		})
+		fw := core.New(env, core.Options{})
 		if _, err := fw.Install(a.Function); err != nil {
 			t.Fatal(err)
 		}
@@ -363,13 +365,13 @@ func TestConcurrentRetainInstances(t *testing.T) {
 // ErrAllPinned and the failed invocation leaks nothing. Releasing the
 // pin lets the re-fetch succeed.
 func TestPinnedImageBlocksEvictionMidRestore(t *testing.T) {
+	a := workloads.Fact(runtime.LangNode)
+	b := workloads.NetLatency(runtime.LangNode)
 	env := platform.NewEnv(platform.EnvConfig{
-		SnapshotDiskBudget:    300 << 20, // one image at a time
+		SnapshotDiskBudget:    oneDeltaBudget(t, a.Function, b.Function), // one delta at a time
 		RemoteSnapshotStorage: true,
 	})
 	fw := core.New(env, core.Options{})
-	a := workloads.Fact(runtime.LangNode)
-	b := workloads.NetLatency(runtime.LangNode)
 	if _, err := fw.Install(a.Function); err != nil {
 		t.Fatal(err)
 	}
@@ -403,13 +405,13 @@ func TestPinnedImageBlocksEvictionMidRestore(t *testing.T) {
 // ErrAllPinned (an in-use image cannot be evicted), and the host drains
 // completely afterwards.
 func TestConcurrentEvictionPressure(t *testing.T) {
+	a := workloads.Fact(runtime.LangNode)
+	b := workloads.NetLatency(runtime.LangNode)
 	env := platform.NewEnv(platform.EnvConfig{
-		SnapshotDiskBudget:    300 << 20,
+		SnapshotDiskBudget:    oneDeltaBudget(t, a.Function, b.Function),
 		RemoteSnapshotStorage: true,
 	})
 	fw := core.New(env, core.Options{})
-	a := workloads.Fact(runtime.LangNode)
-	b := workloads.NetLatency(runtime.LangNode)
 	if _, err := fw.Install(a.Function); err != nil {
 		t.Fatal(err)
 	}

@@ -96,15 +96,18 @@ func TestRetryMasksInjectedRemoteFetchFault(t *testing.T) {
 
 func TestStoreWedgedSurfacedDistinctly(t *testing.T) {
 	plane := faults.NewPlane(1)
-	// A budget that fits exactly one image wedges as soon as that image
-	// is pinned and a second function needs the space.
+	w := workloads.Fact(runtime.LangNode)
+	wedge := workloads.NetLatency(runtime.LangNode)
+	// A budget that fits the base image plus exactly one function delta
+	// wedges as soon as that function is pinned and a second one needs
+	// the space (the base itself is never evictable while its delta is
+	// resident).
 	env := platform.NewEnv(platform.EnvConfig{
-		SnapshotDiskBudget:    400 << 20,
+		SnapshotDiskBudget:    oneDeltaBudget(t, w.Function, wedge.Function),
 		RemoteSnapshotStorage: true,
 		Faults:                plane,
 	})
 	fw := core.New(env, core.Options{})
-	w := workloads.Fact(runtime.LangNode)
 	if _, err := fw.Install(w.Function); err != nil {
 		t.Fatal(err)
 	}
@@ -112,8 +115,7 @@ func TestStoreWedgedSurfacedDistinctly(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer env.Snaps.Unpin(w.Name)
-	w2 := workloads.NetLatency(runtime.LangNode)
-	_, err := fw.Install(w2.Function)
+	_, err := fw.Install(wedge.Function)
 	if !errors.Is(err, snapshot.ErrAllPinned) {
 		t.Fatalf("err = %v, want ErrAllPinned in chain", err)
 	}

@@ -42,11 +42,23 @@ const (
 	// chaosInvocations is the request count per configuration — large
 	// enough that a 1% rate injects a meaningful number of faults.
 	chaosInvocations = 300
-	// chaosDiskBudget fits exactly one of the two snapshot images per
-	// node, so alternating functions keep evicting each other and every
-	// invocation exercises the remote-fetch path.
-	chaosDiskBudget = 400 << 20
 )
+
+// chaosBudget sizes each node's snapshot store to hold the shared base
+// image plus exactly one of the two function deltas — one byte short of
+// both — so alternating functions keep evicting each other's delta and
+// the storm continuously exercises the eviction + remote-fetch path.
+// Everything runs on the virtual clock, so the probe is deterministic.
+func chaosBudget() (uint64, error) {
+	env := platform.NewEnv(platform.EnvConfig{})
+	fw := core.New(env, core.Options{})
+	for _, w := range []workloads.Workload{workloads.Fact(runtime.LangNode), workloads.MatrixMult(runtime.LangNode)} {
+		if _, err := fw.Install(w.Function); err != nil {
+			return 0, err
+		}
+	}
+	return env.Snaps.UsedBytes() - 1, nil
+}
 
 // chaosOutcome is what one configuration's storm produced.
 type chaosOutcome struct {
@@ -79,8 +91,12 @@ func (o *chaosOutcome) successRate() float64 {
 // runChaosOnce replays the seeded storm against one configuration.
 func runChaosOnce(seed uint64, resilient bool) (*chaosOutcome, error) {
 	plane := faults.NewPlane(seed)
+	budget, err := chaosBudget()
+	if err != nil {
+		return nil, err
+	}
 	cfg := platform.EnvConfig{
-		SnapshotDiskBudget:    chaosDiskBudget,
+		SnapshotDiskBudget:    budget,
 		RemoteSnapshotStorage: true,
 		Faults:                plane,
 	}

@@ -74,7 +74,7 @@ func All() []Experiment {
 		{"fig12", "Figure 12: memory impact of Fireworks optimizations", RunFig12},
 		// Extensions beyond the paper's figures (see DESIGN.md §5).
 		{"wild", "Extension: warm pools vs snapshots on a Serverless-in-the-Wild trace (§2)", RunWild},
-		{"reap", "Ablation: REAP-style restore prefetch (§7)", RunAblationREAP},
+		{"reap", "Ablation: REAP-style record-and-replay restore prefetch + dedup capacity (§7)", RunAblationREAP},
 		{"snapbudget", "Ablation: bounded snapshot store with LRU replacement + remote storage (§6)", RunAblationSnapBudget},
 		{"deopt", "Ablation: de-optimization under mismatched argument types (§6)", RunDeopt},
 		{"scale", "Extension: cluster-wide consolidation capacity scaling", RunScale},

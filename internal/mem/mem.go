@@ -421,6 +421,27 @@ func (s *Space) DirtyPages(r *Region, n int) int {
 	return faults
 }
 
+// DirtiedPagesIn returns the pages of r this space has CoW-split, in
+// ascending page order — the per-space fault telemetry the snapshot
+// layer turns into REAP-style working-set records. Returns nil if the
+// region is not mapped here.
+func (s *Space) DirtiedPagesIn(r *Region) []int {
+	h := s.host
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s.mustLive()
+	ref, ok := s.refs[r.name]
+	if !ok {
+		return nil
+	}
+	pages := make([]int, 0, len(ref.dirty))
+	for p := range ref.dirty {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	return pages
+}
+
 // AllocPrivate allocates n private anonymous pages of the given kind.
 func (s *Space) AllocPrivate(kind Kind, pages int) {
 	if pages < 0 {

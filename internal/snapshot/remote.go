@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chunk"
 	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -18,20 +19,32 @@ import (
 // bounded local cache (Store) and falls back to fetching the image over
 // the network instead of re-running the whole install phase.
 //
-// Fetch cost models a 10 Gbps storage network: a fixed request latency
-// plus a per-byte transfer term, so pulling a ~240 MiB image costs
-// ~200 ms — two orders of magnitude cheaper than a reinstall (~5 s) and
-// one order more expensive than a local resume (~12 ms).
+// Like the local store, the remote is content-addressed: objects are
+// manifests over a shared chunk pool. An upload moves only chunks the
+// remote pool lacks (re-uploading existing content is a metadata-only
+// write), and a fetch against a local store moves only chunks missing
+// from the local pool — so pulling a post-JIT image whose base-runtime
+// chunks are already resident pays for the function's few-MiB delta,
+// not the whole ~240 MiB image.
+//
+// Transfer cost models a 10 Gbps storage network: a fixed request
+// latency plus a per-byte term over the bytes actually moved, so a full
+// ~240 MiB image costs ~200 ms — two orders of magnitude cheaper than a
+// reinstall (~5 s) — and a delta fetch is an order cheaper again.
 type Remote struct {
 	mu      sync.Mutex
 	objects map[string]*vmm.Snapshot
+	pool    map[uint64]uint64 // chunk ID -> bytes resident remotely
 	fetches int
 	uploads int
 
 	// Observability (nil-safe; see Instrument).
-	fetchCtr  *metrics.Counter
-	uploadCtr *metrics.Counter
-	xferBytes *metrics.Histogram
+	fetchCtr     *metrics.Counter
+	uploadCtr    *metrics.Counter
+	chunksFetch  *metrics.Counter
+	xferBytes    *metrics.Histogram
+	deltaBytes   *metrics.Histogram
+	objectsGauge *metrics.Gauge
 
 	// injector, when attached, injects failures at the
 	// snapshot.remote.fetch site (nil-safe).
@@ -53,14 +66,18 @@ func transferBuckets() []float64 {
 }
 
 // Instrument attaches the remote store to a metrics registry:
-// fetch/upload counters and a transfer-size histogram (both directions
-// observe the image size in bytes).
+// fetch/upload counters, per-chunk fetch traffic, a transfer-size
+// histogram over the bytes actually moved each direction, the per-fetch
+// delta size, and the resident object count.
 func (r *Remote) Instrument(reg *metrics.Registry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.fetchCtr = reg.Counter("snapshot_remote_fetches_total")
 	r.uploadCtr = reg.Counter("snapshot_remote_uploads_total")
+	r.chunksFetch = reg.Counter("snapshot_chunks_fetched_total")
 	r.xferBytes = reg.HistogramWith("snapshot_remote_transfer_bytes", "bytes", transferBuckets())
+	r.deltaBytes = reg.HistogramWith("snapshot_delta_bytes", "bytes", transferBuckets())
+	r.objectsGauge = reg.Gauge("snapshot_remote_objects")
 }
 
 // AttachFaults arms the remote store's fault-injection site.
@@ -81,7 +98,10 @@ const (
 
 // NewRemote returns an empty remote store.
 func NewRemote() *Remote {
-	return &Remote{objects: make(map[string]*vmm.Snapshot)}
+	return &Remote{
+		objects: make(map[string]*vmm.Snapshot),
+		pool:    make(map[uint64]uint64),
+	}
 }
 
 // Upload stores an image remotely, charging transfer time to clock.
@@ -89,27 +109,54 @@ func (r *Remote) Upload(name string, snap *vmm.Snapshot, clock *vclock.Clock) {
 	r.UploadTraced(name, snap, clock, nil)
 }
 
-// UploadTraced is Upload under an event scope.
+// UploadTraced is Upload under an event scope. Only chunks the remote
+// pool lacks are transferred; re-uploading an image whose content is
+// already resident short-circuits to a metadata write (base cost only).
 func (r *Remote) UploadTraced(name string, snap *vmm.Snapshot, clock *vclock.Clock, sc *events.Scope) {
-	clock.Advance(CostRemoteUploadBase + transferCost(snap.TotalBytes()))
+	chunks := manifestChunks(snap)
 	r.mu.Lock()
+	var missing []chunk.Chunk
+	for _, c := range chunks {
+		if _, ok := r.pool[c.ID]; !ok {
+			missing = append(missing, c)
+		}
+	}
+	moved := chunk.BytesOf(missing)
+	r.mu.Unlock()
+
+	cost := CostRemoteUploadBase
+	if moved > 0 {
+		cost += transferCost(moved)
+	}
+	clock.Advance(cost)
+
+	r.mu.Lock()
+	for _, c := range missing {
+		r.pool[c.ID] = c.Bytes
+	}
 	r.objects[name] = snap
 	r.uploads++
 	r.uploadCtr.Inc()
-	r.xferBytes.Observe(float64(snap.TotalBytes()))
+	r.xferBytes.Observe(float64(moved))
+	r.objectsGauge.Set(int64(len(r.objects)))
 	r.mu.Unlock()
-	sc.Instant("snapshot", "remote-upload", clock.Now(), events.A("image", name))
+	sc.Instant("snapshot", "remote-upload", clock.Now(),
+		events.A("image", name),
+		events.A("chunks", fmt.Sprint(len(missing))),
+		events.A("bytes", fmt.Sprint(moved)))
 }
 
-// Fetch retrieves an image, charging transfer time to clock.
+// Fetch retrieves an image with no local pool to delta against — the
+// whole image is transferred. Cost is charged to clock.
 func (r *Remote) Fetch(name string, clock *vclock.Clock) (*vmm.Snapshot, error) {
-	return r.FetchTraced(name, clock, nil)
+	return r.FetchTraced(name, nil, clock, nil)
 }
 
-// FetchTraced is Fetch under an event scope: the transfer emits a
-// "snapshot" event (and any injected fault emits its own at the
-// remote-fetch site).
-func (r *Remote) FetchTraced(name string, clock *vclock.Clock, sc *events.Scope) (*vmm.Snapshot, error) {
+// FetchTraced retrieves an image, transferring only the chunks missing
+// from the local store's pool (nil local means everything is missing).
+// The transfer emits a "snapshot" event carrying the delta size, and
+// any injected fault emits its own at the remote-fetch site.
+func (r *Remote) FetchTraced(name string, local *Store, clock *vclock.Clock, sc *events.Scope) (*vmm.Snapshot, error) {
 	r.mu.Lock()
 	injector := r.injector
 	r.mu.Unlock()
@@ -126,19 +173,34 @@ func (r *Remote) FetchTraced(name string, clock *vclock.Clock, sc *events.Scope)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (not in remote storage)", ErrNotFound, name)
 	}
-	clock.Advance(CostRemoteFetchBase + transferCost(snap.TotalBytes()))
+	missing := local.MissingChunks(manifestChunks(snap))
+	moved := chunk.BytesOf(missing)
+	cost := CostRemoteFetchBase
+	if moved > 0 {
+		cost += transferCost(moved)
+	}
+	clock.Advance(cost)
 	r.mu.Lock()
-	r.xferBytes.Observe(float64(snap.TotalBytes()))
+	r.chunksFetch.Add(int64(len(missing)))
+	r.xferBytes.Observe(float64(moved))
+	r.deltaBytes.Observe(float64(moved))
 	r.mu.Unlock()
-	sc.Instant("snapshot", "remote-fetch", clock.Now(), events.A("image", name))
+	sc.Instant("snapshot", "remote-fetch", clock.Now(),
+		events.A("image", name),
+		events.A("chunks", fmt.Sprint(len(missing))),
+		events.A("bytes", fmt.Sprint(moved)))
 	return snap, nil
 }
 
-// Delete removes an image from remote storage.
+// Delete removes an image's metadata from remote storage. Its chunks
+// stay in the content pool (other manifests may reference them; the
+// pool is append-only, like a real content-addressed blob store
+// between garbage-collection passes).
 func (r *Remote) Delete(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.objects, name)
+	r.objectsGauge.Set(int64(len(r.objects)))
 }
 
 // Has reports whether an image exists remotely.
@@ -147,6 +209,13 @@ func (r *Remote) Has(name string) bool {
 	defer r.mu.Unlock()
 	_, ok := r.objects[name]
 	return ok
+}
+
+// Objects returns how many images are resident remotely.
+func (r *Remote) Objects() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.objects)
 }
 
 // Fetches and Uploads report transfer counts (for the ablations).

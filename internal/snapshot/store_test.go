@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"testing"
 
+	"sync"
+
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/vclock"
 	"repro/internal/vmm"
@@ -150,6 +153,172 @@ func TestPinPreventsEviction(t *testing.T) {
 	if err := s.Put("fn3", makeSnap(t, hv, 40<<20)); err != nil {
 		t.Fatalf("after unpin: %v", err)
 	}
+}
+
+// makeChunkedSnap builds a snapshot whose regions carry explicit
+// content classes, so its chunks dedup against other snapshots sharing
+// a class.
+func makeChunkedSnap(t *testing.T, hv *vmm.Hypervisor, regions []vmm.RegionSpec) *vmm.Snapshot {
+	t.Helper()
+	clock := vclock.New()
+	v, err := hv.CreateVM(vmm.DefaultConfig(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.BootKernel(clock); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := hv.TakeSnapshot(v, vmm.SnapPostJIT, regions, 8<<20, nil, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestChunkDedupAccounting(t *testing.T) {
+	hv := newHV()
+	reg := metrics.NewRegistry()
+	s := NewStore(0)
+	s.Instrument(reg)
+	base := vmm.RegionSpec{Kind: mem.KindRuntime, Bytes: 64 << 20, Content: "base:runtime:test"}
+	a := makeChunkedSnap(t, hv, []vmm.RegionSpec{
+		{Kind: mem.KindHeap, Bytes: 8 << 20, Content: "fn:a"}, base})
+	b := makeChunkedSnap(t, hv, []vmm.RegionSpec{
+		{Kind: mem.KindHeap, Bytes: 8 << 20, Content: "fn:b"}, base})
+	if err := s.Put("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.LogicalBytes(), a.TotalBytes()+b.TotalBytes(); got != want {
+		t.Fatalf("LogicalBytes = %d, want %d", got, want)
+	}
+	// b's base chunks dedup against a's: only its 8 MiB heap is new.
+	if got, want := s.UsedBytes(), a.TotalBytes()+8<<20; got != want {
+		t.Fatalf("UsedBytes = %d, want %d", got, want)
+	}
+	if reg.Counter("snapshot_chunks_deduped_total").Value() == 0 {
+		t.Fatal("no chunks counted as deduped")
+	}
+	// Removing a keeps the shared base chunks alive for b.
+	s.Remove("a")
+	if got, want := s.UsedBytes(), b.TotalBytes(); got != want {
+		t.Fatalf("UsedBytes after Remove = %d, want %d", got, want)
+	}
+}
+
+func TestContentKeyChangeCountsInvalidation(t *testing.T) {
+	hv := newHV()
+	s := NewStore(0)
+	a := makeSnap(t, hv, 8<<20)
+	a.ContentKey = "fn_aaa"
+	if err := s.Put("fn", a); err != nil {
+		t.Fatal(err)
+	}
+	b := makeSnap(t, hv, 8<<20)
+	b.ContentKey = "fn_aaa"
+	// Same code hash: a plain replace, not an invalidation.
+	if err := s.Put("fn", b); err != nil {
+		t.Fatal(err)
+	}
+	if s.Invalidations() != 0 {
+		t.Fatalf("invalidations = %d after same-key replace", s.Invalidations())
+	}
+	c := makeSnap(t, hv, 8<<20)
+	c.ContentKey = "fn_bbb"
+	if err := s.Put("fn", c); err != nil {
+		t.Fatal(err)
+	}
+	if s.Invalidations() != 1 {
+		t.Fatalf("invalidations = %d after code-hash change", s.Invalidations())
+	}
+}
+
+func TestBaseWithResidentDeltaNeverEvicted(t *testing.T) {
+	hv := newHV()
+	baseSpec := vmm.RegionSpec{Kind: mem.KindRuntime, Bytes: 64 << 20, Content: "base:runtime:test"}
+	base := makeChunkedSnap(t, hv, []vmm.RegionSpec{baseSpec})
+	mkDelta := func(name string) *vmm.Snapshot {
+		snap := makeChunkedSnap(t, hv, []vmm.RegionSpec{
+			{Kind: mem.KindHeap, Bytes: 16 << 20, Content: "fn:" + name}, baseSpec})
+		snap.BaseKey = "base"
+		return snap
+	}
+	// Budget fits the 64 MiB base plus one 16 MiB delta, never two.
+	s := NewStore(64<<20 + 24<<20)
+	if err := s.Put("base", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fn-a", mkDelta("a")); err != nil {
+		t.Fatal(err)
+	}
+	// The second delta must evict fn-a — never the base, even though the
+	// base is the LRU entry.
+	if err := s.Put("fn-b", mkDelta("b")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("base") {
+		t.Fatal("base evicted while a delta depended on it")
+	}
+	if s.Has("fn-a") || !s.Has("fn-b") {
+		t.Fatalf("wrong victim: %v", s.Names())
+	}
+	// Pin the only evictable entry: the base is dependency-protected and
+	// fn-b is pinned, so Put must fail ErrAllPinned and roll back its
+	// provisional chunk refs.
+	if err := s.Pin("fn-b"); err != nil {
+		t.Fatal(err)
+	}
+	used := s.UsedBytes()
+	if err := s.Put("fn-c", mkDelta("c")); !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("err = %v, want ErrAllPinned", err)
+	}
+	if s.UsedBytes() != used {
+		t.Fatalf("failed Put leaked chunk refs: used %d, want %d", s.UsedBytes(), used)
+	}
+	// Dropping the last delta makes the base evictable again.
+	s.Unpin("fn-b")
+	s.Remove("fn-b")
+	if err := s.Put("fn-c", mkDelta("c")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStoreAccess(t *testing.T) {
+	hv := newHV()
+	const goroutines, perG = 4, 6
+	snaps := make([][]*vmm.Snapshot, goroutines)
+	for g := range snaps {
+		snaps[g] = make([]*vmm.Snapshot, perG)
+		for i := range snaps[g] {
+			snaps[g][i] = makeSnap(t, hv, 20<<20)
+		}
+	}
+	s := NewStore(200 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, snap := range snaps[g] {
+				name := fmt.Sprintf("g%d-fn%d", g, i)
+				if err := s.Put(name, snap); err != nil {
+					continue
+				}
+				s.Get(name)
+				if s.Pin(name) == nil {
+					s.Unpin(name)
+				}
+				s.UsedBytes()
+				s.Names()
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestRemove(t *testing.T) {

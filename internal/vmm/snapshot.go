@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chunk"
 	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/fs"
@@ -56,6 +57,13 @@ const (
 type RegionSpec struct {
 	Kind  mem.Kind
 	Bytes uint64
+	// Content identifies the bytes in this region for content-addressed
+	// chunking: regions with the same Content class hash to the same
+	// chunk IDs across snapshots, so a shared pool stores them once
+	// (e.g. "base:kernel" for every guest kernel, "fn:<name>_<codehash>"
+	// for one function's private heap). Empty means the region is
+	// unique to this snapshot — no cross-image dedup.
+	Content string
 }
 
 // Snapshot is a VM-level memory snapshot: a set of shareable page
@@ -82,12 +90,36 @@ type Snapshot struct {
 	// fresh seed, restoring layout diversity across snapshot
 	// generations.
 	LayoutSeed uint64
+	// ContentKey identifies the image content for invalidation:
+	// Fireworks keys function snapshots {function_id}_{code_hash}, so
+	// redeploying changed code yields a new key and the stale image is
+	// invalidated rather than silently reused.
+	ContentKey string
+	// BaseKey names the shared base-runtime (os-only/post-load) image
+	// this snapshot is a delta over, if any. The store refuses to evict
+	// a base image while deltas depending on it are resident.
+	BaseKey string
 
-	mu      sync.Mutex
-	regions []*mem.Region
-	specs   []RegionSpec
-	total   uint64
-	host    *mem.Host
+	mu       sync.Mutex
+	regions  []*mem.Region
+	specs    []RegionSpec
+	total    uint64
+	host     *mem.Host
+	manifest *chunk.Manifest
+	ws       *WorkingSetRecord
+}
+
+// WorkingSetRecord is a REAP-style record of the chunks a restored VM
+// actually touched (resident-set prefix plus the pages execution
+// dirtied), captured on the first restore and replayed on later ones
+// with sequential reads instead of demand page faults.
+type WorkingSetRecord struct {
+	// ChunkIDs are the hot chunks in image layout order.
+	ChunkIDs []uint64
+	// Pages is how many pages the record covers (drives replay cost).
+	Pages int
+	// Bytes is the byte extent of the recorded chunks.
+	Bytes uint64
 }
 
 // TotalBytes returns the snapshot image size on disk.
@@ -95,6 +127,69 @@ func (s *Snapshot) TotalBytes() uint64 { return s.total }
 
 // Specs returns the snapshot's region layout.
 func (s *Snapshot) Specs() []RegionSpec { return append([]RegionSpec(nil), s.specs...) }
+
+// Manifest returns the image's content-addressed chunk manifest.
+func (s *Snapshot) Manifest() *chunk.Manifest { return s.manifest }
+
+// WorkingSet returns the recorded REAP working set, or nil before the
+// first restore has been observed.
+func (s *Snapshot) WorkingSet() *WorkingSetRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ws
+}
+
+// RecordWorkingSet captures the working set a restored VM actually
+// touched, from the host's fault telemetry: for each snapshot region,
+// the chunks covering the eagerly-faulted resident prefix plus the
+// chunks containing every page the VM CoW-split during execution. The
+// record is kept on the snapshot (first writer wins — the record is a
+// property of the image, not of one clone) and returned.
+func (s *Snapshot) RecordWorkingSet(v *MicroVM) *WorkingSetRecord {
+	rec := &WorkingSetRecord{}
+	s.mu.Lock()
+	regions := append([]*mem.Region(nil), s.regions...)
+	s.mu.Unlock()
+	remaining := s.ResidentWorkingSetBytes
+	for i, r := range regions {
+		chunks := s.manifest.RegionChunks(i)
+		// The resident prefix is faulted front-to-back across the image
+		// layout (kernel entry, runtime text, function heap), so each
+		// region consumes the head of the remaining resident budget.
+		prefix := uint64(r.Pages()) * mem.PageSize
+		if prefix > remaining {
+			prefix = remaining
+		}
+		remaining -= prefix
+		hot := map[int]bool{}
+		for ci := range chunks {
+			if uint64(ci)*chunk.Size < prefix {
+				hot[ci] = true
+			}
+		}
+		for _, page := range v.space.DirtiedPagesIn(r) {
+			if ci := int(uint64(page) * mem.PageSize / chunk.Size); ci < len(chunks) {
+				hot[ci] = true
+			}
+		}
+		for ci, c := range chunks {
+			if !hot[ci] {
+				continue
+			}
+			rec.ChunkIDs = append(rec.ChunkIDs, c.ID)
+			rec.Bytes += c.Bytes
+		}
+	}
+	rec.Pages = mem.PagesFor(rec.Bytes)
+	s.mu.Lock()
+	if s.ws == nil {
+		s.ws = rec
+	} else {
+		rec = s.ws
+	}
+	s.mu.Unlock()
+	return rec
+}
 
 // Sharers returns how many live address spaces currently map the
 // snapshot's first region (all regions share the same lifecycle).
@@ -157,18 +252,29 @@ func (h *Hypervisor) TakeSnapshot(v *MicroVM, kind SnapshotKind, specs []RegionS
 		total:                   total,
 		host:                    h.Host,
 	}
+	contents := make([]chunk.Region, 0, len(specs))
 	for _, spec := range specs {
 		snap.regions = append(snap.regions, h.Host.NewRegion(string(spec.Kind)+"-"+snap.ID, spec.Kind, mem.PagesFor(spec.Bytes)))
+		class := spec.Content
+		if class == "" {
+			// No declared content class: the region's bytes are unique
+			// to this image, so hash under the snapshot's own identity.
+			class = "img:" + snap.ID
+		}
+		contents = append(contents, chunk.Region{Class: class, Kind: string(spec.Kind), Bytes: spec.Bytes})
 	}
+	snap.manifest = chunk.Build(contents)
 	return snap, nil
 }
 
 // RestoreOptions tunes the restore path.
 type RestoreOptions struct {
-	// REAPPrefetch loads the recorded working set with sequential reads
-	// instead of demand paging (the REAP optimization the paper cites
-	// as complementary).
-	REAPPrefetch bool
+	// Prefetch, when set, replays a recorded working set with
+	// sequential reads instead of demand-faulting the whole resident
+	// set (the REAP record-and-prefetch optimization the paper cites as
+	// complementary). The record comes from Snapshot.RecordWorkingSet
+	// on an earlier restore; a nil record demand-pages as before.
+	Prefetch *WorkingSetRecord
 }
 
 // Restore creates a new microVM from a snapshot: a fresh VM shell whose
@@ -192,10 +298,14 @@ func (h *Hypervisor) RestoreTraced(snap *Snapshot, opts RestoreOptions, clock *v
 	h.mu.Unlock()
 
 	perPage := CostRestorePerPage
-	if opts.REAPPrefetch {
-		perPage = CostRestorePerPageREAP
-	}
 	pages := mem.PagesFor(snap.ResidentWorkingSetBytes)
+	if rec := opts.Prefetch; rec != nil {
+		// Replaying the record loads exactly the recorded chunks with
+		// sequential reads — cheaper per page than random demand
+		// faults, and no page outside the record is touched eagerly.
+		perPage = CostRestorePerPageREAP
+		pages = rec.Pages
+	}
 	restoreCost := CostRestoreBase + time.Duration(pages)*perPage
 	clock.Advance(restoreCost)
 	h.restores.Inc()

@@ -250,17 +250,40 @@ func TestRestoreCostAndREAP(t *testing.T) {
 	setup := vclock.New()
 	snap := takeTestSnapshot(t, hv, setup)
 
+	// First restore demand-pages the full resident set and records the
+	// working set actually touched.
 	demand := vclock.New()
 	v1, _ := hv.Restore(snap, RestoreOptions{}, demand)
-	reap := vclock.New()
-	v2, _ := hv.Restore(snap, RestoreOptions{REAPPrefetch: true}, reap)
-	if reap.Now() >= demand.Now() {
-		t.Fatalf("REAP restore %v not faster than demand paging %v", reap.Now(), demand.Now())
-	}
 	pages := mem.PagesFor(32 << 20)
 	want := CostRestoreBase + time.Duration(pages)*CostRestorePerPage
 	if demand.Now() != want {
 		t.Fatalf("restore cost = %v, want %v", demand.Now(), want)
+	}
+	v1.DirtyDuringExecution(4 << 20)
+	rec := snap.RecordWorkingSet(v1)
+	if len(rec.ChunkIDs) == 0 || rec.Pages == 0 {
+		t.Fatalf("empty working-set record: %+v", rec)
+	}
+	if snap.WorkingSet() != rec {
+		t.Fatal("record not kept on the snapshot")
+	}
+
+	// Replaying the record prefetches with sequential reads — cheaper
+	// than demand-faulting the resident set.
+	reap := vclock.New()
+	v2, _ := hv.Restore(snap, RestoreOptions{Prefetch: rec}, reap)
+	if reap.Now() >= demand.Now() {
+		t.Fatalf("REAP restore %v not faster than demand paging %v", reap.Now(), demand.Now())
+	}
+	wantReap := CostRestoreBase + time.Duration(rec.Pages)*CostRestorePerPageREAP
+	if reap.Now() != wantReap {
+		t.Fatalf("replay cost = %v, want %v", reap.Now(), wantReap)
+	}
+
+	// The record is a property of the image: a second capture from
+	// another clone returns the first record, not a fresh one.
+	if again := snap.RecordWorkingSet(v2); again != rec {
+		t.Fatal("second capture replaced the image's record")
 	}
 	v1.Stop()
 	v2.Stop()
