@@ -35,6 +35,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/vclock"
 	"repro/internal/vmm"
+	"repro/internal/workflow"
 	"repro/internal/workloads"
 )
 
@@ -745,5 +746,65 @@ func BenchmarkMsgbusBatch(b *testing.B) {
 			broker.DeleteTopic("t")
 		}
 		b.ReportMetric(float64(batch), "records/op")
+	})
+}
+
+// BenchmarkWorkflowChain compares the hand-wired Alexa chain (the
+// frontend function dispatching to a skill via nested invoke()) against
+// the same two-function chain run declaratively by the workflow engine
+// (classifier step, conditional branch, bus-delivered step messages).
+// Both arms report the deterministic virtual end-to-end latency;
+// benchgate derives workflow_chain_speedup (hand-wired ÷ declarative)
+// and floors it — the declarative engine must stay in the same virtual
+// cost envelope as the imperative chain it replaces.
+func BenchmarkWorkflowChain(b *testing.B) {
+	req := map[string]any{"text": "alexa tell me a fun fact"}
+	b.Run("handwired", func(b *testing.B) {
+		env := platform.NewEnv(platform.EnvConfig{})
+		fw := core.New(env, core.Options{})
+		apps := workloads.AlexaSkills()
+		for i := len(apps) - 1; i >= 0; i-- {
+			if _, err := fw.Install(apps[i].Function); err != nil {
+				b.Fatal(err)
+			}
+		}
+		params := platform.MustParams(req)
+		var virtual int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inv, err := fw.Invoke(workloads.NameAlexaFrontend, params, platform.InvokeOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			virtual += int64(inv.Breakdown.Total())
+		}
+		b.ReportMetric(float64(virtual)/float64(b.N), "ns_virtual/op")
+	})
+	b.Run("declarative", func(b *testing.B) {
+		env := platform.NewEnv(platform.EnvConfig{})
+		fw := core.New(env, core.Options{})
+		apps := append(workloads.AlexaSkills(), workloads.WorkflowFunctions()...)
+		for i := len(apps) - 1; i >= 0; i-- {
+			if _, err := fw.Install(apps[i].Function); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng := workflow.New(env.Bus, env.Events, env.Metrics, fw, workflow.Options{})
+		if err := eng.Register(workloads.AlexaWorkflow()); err != nil {
+			b.Fatal(err)
+		}
+		var virtual int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run, err := eng.Run("alexa", req, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if run.Status != workflow.RunCompleted {
+				b.Fatalf("run status %q", run.Status)
+			}
+			virtual += int64(run.Invocation.Breakdown.Total())
+		}
+		b.ReportMetric(float64(virtual)/float64(b.N), "ns_virtual/op")
 	})
 }

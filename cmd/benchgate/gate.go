@@ -131,6 +131,7 @@ func derive(r *Report) {
 	custom("restore_delta_speedup", "ns_virtual/op", "BenchmarkRestoreDelta/flat", "BenchmarkRestoreDelta/delta")
 	custom("restore_delta_bytes_ratio", "vbytes/op", "BenchmarkRestoreDelta/flat", "BenchmarkRestoreDelta/delta")
 	custom("prefetch_replay_speedup", "ns_virtual/op", "BenchmarkPrefetchReplay/demand", "BenchmarkPrefetchReplay/replay")
+	custom("workflow_chain_speedup", "ns_virtual/op", "BenchmarkWorkflowChain/handwired", "BenchmarkWorkflowChain/declarative")
 }
 
 // Tolerances bound how far a fresh run may drift from the committed
@@ -181,6 +182,11 @@ func defaultTolerances() Tolerances {
 			"restore_delta_speedup":     5.0,
 			"restore_delta_bytes_ratio": 5.0,
 			"prefetch_replay_speedup":   1.1,
+			// Declarative DAG execution vs the hand-wired invoke()
+			// chain, in virtual time: near-parity by design (~1.0). The
+			// floor catches the engine growing a per-step virtual cost
+			// the imperative chain does not pay.
+			"workflow_chain_speedup": 0.9,
 		},
 	}
 }

@@ -66,6 +66,12 @@ var manifest = []BenchEntry{
 	{Name: "BenchmarkJournalParallel/sharded", Gate: true},
 	{Name: "BenchmarkMsgbusBatch/single", Gate: true},
 	{Name: "BenchmarkMsgbusBatch/batch", Gate: true},
+
+	// Workflow engine: gated, including the derived hand-wired vs
+	// declarative virtual-cost ratio (the engine's composition overhead
+	// must stay in the imperative chain's envelope).
+	{Name: "BenchmarkWorkflowChain/handwired", Gate: true},
+	{Name: "BenchmarkWorkflowChain/declarative", Gate: true},
 }
 
 // gatedPattern returns the -bench regexp selecting the gated set (or

@@ -33,6 +33,14 @@
 //	curl -s 'localhost:8080/memory?format=json'
 //	curl -s localhost:8080/alerts
 //
+//	# declarative workflows (docs/workflows.md): register a DAG, run
+//	# it, then inspect and replay its dead-letter queue
+//	curl -s localhost:8080/workflows -d @dag.json
+//	curl -s localhost:8080/workflows
+//	curl -s localhost:8080/workflows/pipeline/run -d '{"text": "hi"}'
+//	curl -s localhost:8080/workflows/pipeline/dlq
+//	curl -s -X POST localhost:8080/workflows/pipeline/dlq/replay
+//
 //	# pull one request's trace, or the whole journal
 //	curl -s localhost:8080/trace/1
 //	curl -s 'localhost:8080/events?format=chrome' > trace.json  # open in Perfetto
@@ -77,16 +85,25 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/faults"
+	"repro/internal/lang"
 	"repro/internal/metrics"
+	"repro/internal/msgbus"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
 	"repro/internal/timeseries"
 	"repro/internal/vclock"
+	"repro/internal/workflow"
 	"repro/internal/workloads"
 )
 
 type server struct {
 	c *cluster.Cluster
+
+	// wf is the gateway-level workflow engine: DAGs registered over
+	// HTTP execute their steps through the cluster (each step is placed
+	// like any other invocation) while the step/DLQ topics live on the
+	// gateway's own broker.
+	wf *workflow.Engine
 
 	// timeline is the gateway's own virtual clock: each invocation
 	// advances it by the request's virtual latency, giving the telemetry
@@ -133,6 +150,14 @@ func newServer(nodes int, chaos *faultsConfig) *server {
 		requests: c.Metrics().Counter("gateway_requests_total"),
 		failures: c.Metrics().Counter("gateway_failures_total"),
 	}
+	wfBus := msgbus.NewBroker()
+	wfBus.Instrument(c.Metrics())
+	wfOpts := workflow.Options{}
+	if chaos != nil {
+		wfBus.AttachFaults(envCfg.Faults)
+		wfOpts.Retry = faults.DefaultRetryPolicy()
+	}
+	s.wf = workflow.New(wfBus, c.Journal(), c.Metrics(), clusterInvoker{c}, wfOpts)
 	s.sampler = timeseries.NewSampler(c.Metrics(), timeseries.DefaultCapacity)
 	s.sampler.AddProbe("fleet_down_nodes", func() float64 {
 		return float64(platform.DeriveFleetHealth(c.Metrics().Snapshot()).Down)
@@ -166,6 +191,16 @@ func newServer(nodes int, chaos *faultsConfig) *server {
 	// The zero-time baseline sample anchors every burn-rate delta.
 	s.sampler.Sample(0)
 	return s
+}
+
+// clusterInvoker adapts the cluster to the workflow engine's Invoker:
+// workflow steps go through normal placement (and failover, when
+// armed); the serving node is recorded on the invocation's trace.
+type clusterInvoker struct{ c *cluster.Cluster }
+
+func (ci clusterInvoker) Invoke(name string, params lang.Value, opts platform.InvokeOptions) (*platform.Invocation, error) {
+	inv, _, err := ci.c.Invoke(name, params, opts)
+	return inv, err
 }
 
 // sharingEfficiency is the fleet-wide RSS-to-resident ratio: how many
@@ -298,6 +333,11 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("DELETE /functions/{name}", s.handleRemove)
+	mux.HandleFunc("GET /workflows", s.handleWorkflows)
+	mux.HandleFunc("POST /workflows", s.handleWorkflowRegister)
+	mux.HandleFunc("POST /workflows/{name}/run", s.handleWorkflowRun)
+	mux.HandleFunc("GET /workflows/{name}/dlq", s.handleWorkflowDLQ)
+	mux.HandleFunc("POST /workflows/{name}/dlq/replay", s.handleWorkflowDLQReplay)
 	return mux
 }
 
@@ -690,6 +730,162 @@ func (s *server) writeEvents(w http.ResponseWriter, r *http.Request, evs []event
 	}
 	w.Header().Set("Content-Type", contentType)
 	_, _ = io.WriteString(w, buf.String())
+}
+
+// handleWorkflows lists every registered workflow: its DAG (step ids,
+// functions, dependencies, conditions) and current DLQ depth.
+func (s *server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
+	out := make([]map[string]any, 0)
+	for _, name := range s.wf.Workflows() {
+		spec := s.wf.Spec(name)
+		if spec == nil {
+			continue
+		}
+		steps := make([]map[string]any, 0, len(spec.Steps))
+		for _, st := range spec.Steps {
+			entry := map[string]any{"id": st.ID, "function": st.Function}
+			if len(st.After) > 0 {
+				entry["after"] = st.After
+			}
+			if st.When != nil {
+				entry["when"] = st.When
+			}
+			steps = append(steps, entry)
+		}
+		dlq, err := s.wf.DLQ(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, map[string]any{
+			"name":      name,
+			"steps":     steps,
+			"dlq_depth": len(dlq),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleWorkflowRegister registers a workflow DAG from its JSON spec
+// (docs/workflows.md documents the format).
+func (s *server) handleWorkflowRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := workflow.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.wf.Register(spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"workflow": spec.Name,
+		"steps":    len(spec.Steps),
+	})
+}
+
+// runSummary renders one workflow run for an HTTP response: status,
+// per-step delivery state, and the trace id of the run's single
+// end-to-end journal trace.
+func (s *server) runSummary(run *workflow.Run) map[string]any {
+	steps := make([]map[string]any, 0)
+	for _, st := range run.Steps(s.wf) {
+		entry := map[string]any{
+			"id":       st.ID,
+			"function": st.Function,
+			"status":   st.Status,
+			"attempts": st.Attempts,
+		}
+		if st.Error != "" {
+			entry["error"] = st.Error
+		}
+		steps = append(steps, entry)
+	}
+	return map[string]any{
+		"run":      run.ID,
+		"workflow": run.Workflow,
+		"status":   run.Status,
+		"steps":    steps,
+		"trace_id": uint64(run.TraceID()),
+		"latency": map[string]string{
+			"start-up": run.Invocation.Breakdown.Startup().String(),
+			"exec":     run.Invocation.Breakdown.Exec().String(),
+			"others":   run.Invocation.Breakdown.Others().String(),
+			"total":    run.Invocation.Breakdown.Total().String(),
+		},
+	}
+}
+
+// handleWorkflowRun executes a registered workflow with the request
+// body as input and returns the finished run (completed or stalled —
+// stalled runs park their dead steps on the workflow's DLQ).
+func (s *server) handleWorkflowRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.wf.Spec(name) == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("workflow %q: not registered", name))
+		return
+	}
+	var input map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&input); err != nil && err != io.EOF {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("input: %w", err))
+		return
+	}
+	run, err := s.wf.Run(name, input, s.timeline.Now())
+	if err != nil {
+		s.observe(0, true)
+		writeJSON(w, http.StatusBadGateway, map[string]any{"error": err.Error()})
+		return
+	}
+	s.observe(run.Invocation.Breakdown.Total(), run.Status != workflow.RunCompleted)
+	status := http.StatusOK
+	if run.Status != workflow.RunCompleted {
+		status = http.StatusBadGateway
+	}
+	writeJSON(w, status, s.runSummary(run))
+}
+
+// handleWorkflowDLQ lists the workflow's parked dead letters.
+func (s *server) handleWorkflowDLQ(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	recs, err := s.wf.DLQ(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if recs == nil {
+		recs = []workflow.DLQRecord{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workflow": name,
+		"depth":    len(recs),
+		"records":  recs,
+	})
+}
+
+// handleWorkflowDLQReplay redelivers every parked dead letter and
+// resumes the stalled runs (e.g. after redeploying a fixed function).
+func (s *server) handleWorkflowDLQReplay(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.wf.Spec(name) == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("workflow %q: not registered", name))
+		return
+	}
+	runs, err := s.wf.ReplayDLQ(name, s.timeline.Now())
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err)
+		return
+	}
+	out := make([]map[string]any, 0, len(runs))
+	for _, run := range runs {
+		s.observe(run.Invocation.Breakdown.Total(), run.Status != workflow.RunCompleted)
+		out = append(out, s.runSummary(run))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workflow": name, "replayed": out})
 }
 
 func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {

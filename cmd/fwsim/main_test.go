@@ -539,3 +539,137 @@ func TestRemoveEndpoint(t *testing.T) {
 		t.Fatalf("double delete = %d", resp.StatusCode)
 	}
 }
+
+// wfSpecBody is a two-step chain whose second step maps the first
+// step's output into its input (docs/workflows.md format).
+const wfSpecBody = `{
+  "name": "greet-chain",
+  "steps": [
+    {"id": "classify", "function": "hello"},
+    {"id": "echo", "function": "echo", "after": ["classify"],
+     "input": {"msg": "$steps.classify"}}
+  ]
+}`
+
+func TestWorkflowEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/install", installBody)
+	status, out := post(t, ts.URL+"/install", `{
+	  "name": "echo",
+	  "lang": "nodejs",
+	  "source": "func main(params) { return params.msg; }",
+	  "default_params": {"msg": "prime"}
+	}`)
+	if status != http.StatusCreated {
+		t.Fatalf("install echo = %d: %v", status, out)
+	}
+
+	// Register the DAG, list it back.
+	status, out = post(t, ts.URL+"/workflows", wfSpecBody)
+	if status != http.StatusCreated || out["workflow"] != "greet-chain" {
+		t.Fatalf("register = %d: %v", status, out)
+	}
+	status, body := get(t, ts.URL+"/workflows")
+	if status != http.StatusOK {
+		t.Fatalf("list = %d", status)
+	}
+	var listed []map[string]any
+	if err := json.Unmarshal(body, &listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 1 || listed[0]["name"] != "greet-chain" || listed[0]["dlq_depth"].(float64) != 0 {
+		t.Fatalf("workflow list: %v", listed)
+	}
+
+	// Run it: both steps complete and the run's trace resolves.
+	status, out = post(t, ts.URL+"/workflows/greet-chain/run", `{"who": "workflow"}`)
+	if status != http.StatusOK || out["status"] != "completed" {
+		t.Fatalf("run = %d: %v", status, out)
+	}
+	steps := out["steps"].([]any)
+	if len(steps) != 2 {
+		t.Fatalf("steps: %v", steps)
+	}
+	for _, s := range steps {
+		if s.(map[string]any)["status"] != "completed" {
+			t.Fatalf("step not completed: %v", s)
+		}
+	}
+	traceID := out["trace_id"].(float64)
+	if traceID == 0 {
+		t.Fatalf("run has no trace id: %v", out)
+	}
+	status, body = get(t, ts.URL+"/trace/"+strconv.FormatUint(uint64(traceID), 10))
+	if status != http.StatusOK || !strings.Contains(string(body), `"workflow"`) {
+		t.Fatalf("trace %v = %d:\n%s", traceID, status, body)
+	}
+
+	// Bad registrations and unknown names are client errors.
+	if status, _ = post(t, ts.URL+"/workflows", wfSpecBody); status != http.StatusBadRequest {
+		t.Fatalf("duplicate register = %d", status)
+	}
+	if status, _ = post(t, ts.URL+"/workflows", `{"name": "", "steps": []}`); status != http.StatusBadRequest {
+		t.Fatalf("invalid register = %d", status)
+	}
+	if status, _ = post(t, ts.URL+"/workflows/ghost/run", `{}`); status != http.StatusNotFound {
+		t.Fatalf("unknown run = %d", status)
+	}
+	if status, _ = get(t, ts.URL+"/workflows/ghost/dlq"); status != http.StatusNotFound {
+		t.Fatalf("unknown dlq = %d", status)
+	}
+}
+
+func TestWorkflowDLQOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	// "fixme" is not deployed yet: the step dead-letters and the run
+	// stalls (the gateway engine is fail-fast without -faults).
+	status, out := post(t, ts.URL+"/workflows", `{
+	  "name": "frail",
+	  "steps": [{"id": "only", "function": "fixme"}]
+	}`)
+	if status != http.StatusCreated {
+		t.Fatalf("register = %d: %v", status, out)
+	}
+	status, out = post(t, ts.URL+"/workflows/frail/run", `{}`)
+	if status != http.StatusBadGateway || out["status"] != "stalled" {
+		t.Fatalf("poisoned run = %d: %v", status, out)
+	}
+
+	status, body := get(t, ts.URL+"/workflows/frail/dlq")
+	if status != http.StatusOK {
+		t.Fatalf("dlq = %d", status)
+	}
+	var dlq map[string]any
+	if err := json.Unmarshal(body, &dlq); err != nil {
+		t.Fatal(err)
+	}
+	if dlq["depth"].(float64) != 1 {
+		t.Fatalf("dlq depth: %v", dlq)
+	}
+	rec := dlq["records"].([]any)[0].(map[string]any)
+	if rec["step"] != "only" || rec["function"] != "fixme" {
+		t.Fatalf("dlq record: %v", rec)
+	}
+
+	// Deploy the missing function, replay the dead letters: the
+	// stalled run resumes and completes, and the queue drains.
+	status, out = post(t, ts.URL+"/install", `{
+	  "name": "fixme",
+	  "lang": "nodejs",
+	  "source": "func main(params) { return \"fixed\"; }"
+	}`)
+	if status != http.StatusCreated {
+		t.Fatalf("install fixme = %d: %v", status, out)
+	}
+	status, out = post(t, ts.URL+"/workflows/frail/dlq/replay", "")
+	if status != http.StatusOK {
+		t.Fatalf("replay = %d: %v", status, out)
+	}
+	replayed := out["replayed"].([]any)
+	if len(replayed) != 1 || replayed[0].(map[string]any)["status"] != "completed" {
+		t.Fatalf("replayed runs: %v", replayed)
+	}
+	if _, body := get(t, ts.URL+"/workflows/frail/dlq"); !strings.Contains(string(body), `"depth": 0`) {
+		t.Fatalf("dlq not drained:\n%s", body)
+	}
+}

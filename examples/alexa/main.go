@@ -1,7 +1,9 @@
 // Alexa Skills on Fireworks vs OpenWhisk: the ServerlessBench
-// application of Figure 8(a)/9(a). A frontend function performs voice
-// intent analysis and dispatches, via function chaining, to the fact,
-// reminder (CouchDB-backed), or smart-home skill. Fireworks and
+// application of Figure 8(a)/9(a), expressed as a declarative
+// workflow. The alexa-intent classifier names the intent, and the
+// workflow DAG's conditional branches route to the fact, reminder
+// (CouchDB-backed), or smart-home skill — composition the workflow
+// engine owns instead of an imperative invoke() chain. Fireworks and
 // OpenWhisk are the only evaluated platforms able to run chains.
 //
 // Run with: go run ./examples/alexa
@@ -10,9 +12,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/platform"
+	"repro/internal/workflow"
 	"repro/internal/workloads"
 )
 
@@ -25,25 +29,39 @@ var requests = []map[string]any{
 	{"text": "what is the status of the door and the tv", "action": "status"},
 }
 
-func runOn(name string, p platform.Platform) {
-	// Install skills before the frontend so install-time priming can
-	// exercise the real chain.
-	apps := workloads.AlexaSkills()
+func runOn(name string, env *platform.Env, p platform.Platform) {
+	// Install skills before the classifier so install-time priming can
+	// exercise the real functions.
+	apps := append(workloads.AlexaSkills(), workloads.WorkflowFunctions()...)
 	for i := len(apps) - 1; i >= 0; i-- {
 		if _, err := p.Install(apps[i].Function); err != nil {
 			log.Fatalf("%s: install %s: %v", name, apps[i].Name, err)
 		}
 	}
+	eng := workflow.New(env.Bus, env.Events, env.Metrics, p, workflow.Options{})
+	if err := eng.Register(workloads.AlexaWorkflow()); err != nil {
+		log.Fatalf("%s: register: %v", name, err)
+	}
 	fmt.Printf("--- %s ---\n", name)
-	for _, req := range requests {
-		inv, err := p.Invoke(workloads.NameAlexaFrontend, platform.MustParams(req),
-			platform.InvokeOptions{})
-		if err != nil {
-			log.Fatalf("%s: invoke: %v", name, err)
+	for i, req := range requests {
+		run, err := eng.Run("alexa", req, time.Duration(i)*100*time.Millisecond)
+		if err != nil || run.Status != workflow.RunCompleted {
+			log.Fatalf("%s: run: status %v err %v", name, run.Status, err)
 		}
-		fmt.Printf("%-46q -> %s\n", req["text"], truncate(inv.Response.Body, 70))
+		intent := "?"
+		if res, ok := run.Result("intent"); ok {
+			if m, ok := res.(map[string]any); ok {
+				intent, _ = m["intent"].(string)
+			}
+		}
+		reply := ""
+		if res, ok := run.Result(intent); ok {
+			reply = fmt.Sprintf("%v", res)
+		}
+		fmt.Printf("%-46q -> [%s] %s\n", req["text"], intent, truncate(reply, 60))
 		fmt.Printf("  start-up %-10v exec %-10v total %v\n",
-			inv.Breakdown.Startup(), inv.Breakdown.Exec(), inv.Breakdown.Total())
+			run.Invocation.Breakdown.Startup(), run.Invocation.Breakdown.Exec(),
+			run.Invocation.Breakdown.Total())
 	}
 	fmt.Println()
 }
@@ -58,8 +76,10 @@ func truncate(s string, n int) string {
 func main() {
 	// Each platform gets its own host environment (fresh database,
 	// fresh pools) — same as the paper's per-platform runs.
-	runOn("fireworks", core.New(platform.NewEnv(platform.EnvConfig{}), core.Options{}))
-	runOn("openwhisk", platform.NewOpenWhisk(platform.NewEnv(platform.EnvConfig{})))
+	fwEnv := platform.NewEnv(platform.EnvConfig{})
+	runOn("fireworks", fwEnv, core.New(fwEnv, core.Options{}))
+	owEnv := platform.NewEnv(platform.EnvConfig{})
+	runOn("openwhisk", owEnv, platform.NewOpenWhisk(owEnv))
 	fmt.Println("Note how Fireworks' per-request latency is flat (always a snapshot")
 	fmt.Println("resume) while OpenWhisk pays a cold start the first time each skill")
 	fmt.Println("in the chain is reached.")

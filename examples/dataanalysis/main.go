@@ -1,9 +1,10 @@
 // Data analysis on Fireworks: the ServerlessBench application of
-// Figure 8(b)/9(b). Wage records flow through a validation/normalize
-// function chained to a CouchDB writer; a Cloud trigger subscribed to
-// the database's change feed launches the analysis chain (bonuses,
-// taxes, per-role statistics) after every insert — exactly the dashed
-// box in the paper's figure.
+// Figure 8(b)/9(b), expressed as declarative workflows. Wage records
+// flow through the wage-ingest DAG (validate → persist); a change-feed
+// trigger subscribed to the wages database launches the wage-analysis
+// DAG (statistics → report) after every insert — exactly the dashed
+// box in the paper's figure, now owned by the workflow engine instead
+// of hand-wired invoke() chains.
 //
 // Run with: go run ./examples/dataanalysis
 package main
@@ -16,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/couchdb"
 	"repro/internal/platform"
+	"repro/internal/workflow"
 	"repro/internal/workloads"
 )
 
@@ -30,35 +32,39 @@ func main() {
 	env := platform.NewEnv(platform.EnvConfig{})
 	fw := core.New(env, core.Options{})
 
-	apps := workloads.DataAnalysis()
+	apps := append(workloads.DataAnalysis(), workloads.WorkflowFunctions()...)
 	for i := len(apps) - 1; i >= 0; i-- {
 		if _, err := fw.Install(apps[i].Function); err != nil {
 			log.Fatalf("install %s: %v", apps[i].Name, err)
 		}
 	}
 
-	// The Cloud trigger (Figure 1 / Figure 8(b)): every wage insert
-	// fires the analysis chain.
-	triggered := 0
-	env.Couch.CreateDB("wages").Subscribe(func(c couchdb.Change) {
-		if c.Deleted || !strings.HasPrefix(c.ID, "wage-e") {
-			return
+	eng := workflow.New(env.Bus, env.Events, env.Metrics, fw, workflow.Options{})
+	for _, spec := range []*workflow.Spec{workloads.WageInsertWorkflow(), workloads.WageAnalysisWorkflow()} {
+		if err := eng.Register(spec); err != nil {
+			log.Fatalf("register %s: %v", spec.Name, err)
 		}
-		triggered++
-		inv, err := fw.Invoke(workloads.NameWageAnalyze,
-			platform.MustParams(map[string]any{"trigger": c.ID}), platform.InvokeOptions{})
-		if err != nil {
-			log.Fatalf("triggered analysis: %v", err)
-		}
-		fmt.Printf("  [trigger] analysis chain after %s: %v end-to-end\n", c.ID, inv.Breakdown.Total())
-	})
+	}
 
+	// The Cloud trigger (Figure 1 / Figure 8(b)): every wage insert
+	// fires the analysis workflow through the change-feed trigger.
+	eng.AddChangeFeed(env.Couch.CreateDB("wages"), "wage-analysis",
+		func(c couchdb.Change) bool { return !c.Deleted && strings.HasPrefix(c.ID, "wage-e") },
+		func(c couchdb.Change) map[string]any { return map[string]any{"trigger": c.ID} })
+
+	triggered := 0
 	for _, e := range employees {
-		inv, err := fw.Invoke(workloads.NameWageInsert, platform.MustParams(e), platform.InvokeOptions{})
-		if err != nil {
-			log.Fatalf("insert: %v", err)
+		run, err := eng.Run("wage-ingest", e, 0)
+		if err != nil || run.Status != workflow.RunCompleted {
+			log.Fatalf("insert %v: status %v err %v", e["name"], run.Status, err)
 		}
-		fmt.Printf("insert %-8s (HTTP %d): %v end-to-end\n", e["name"], inv.Response.Status, inv.Breakdown.Total())
+		fmt.Printf("insert %-8s (workflow %s): %v end-to-end\n",
+			e["name"], run.Status, run.Invocation.Breakdown.Total())
+		for _, analysis := range eng.Drain(run.Invocation.Clock.Now()) {
+			triggered++
+			fmt.Printf("  [trigger] analysis workflow after wage-%s: %v end-to-end\n",
+				e["id"], analysis.Invocation.Breakdown.Total())
+		}
 	}
 
 	statsDB, err := env.Couch.DB("wage-stats")

@@ -79,6 +79,7 @@ func All() []Experiment {
 		{"deopt", "Ablation: de-optimization under mismatched argument types (§6)", RunDeopt},
 		{"scale", "Extension: cluster-wide consolidation capacity scaling", RunScale},
 		{"chaos", "Extension: deterministic fault injection with retry + failover policies", RunChaos},
+		{"wfchain", "Extension: workflow DAGs, triggers, and DLQ replay under the chaos storm", RunWfchain},
 		{"memtl", "Extension: memory timeline with PSS conservation and sharing lineage (Fig-10 methodology)", RunMemTimeline},
 	}
 }

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/couchdb"
+	"repro/internal/events"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+// Wfchain experiment: the workflow engine under the chaos storm. The
+// declarative Alexa DAG fires on a cron trigger, the wage-analysis DAG
+// on a change-feed trigger, and a fan-out/fan-in pipeline carries a
+// poisoned branch whose function does not exist. The experiment
+// verifies the engine's delivery contract end to end:
+//
+//   - at-least-once: every healthy run completes despite injected bus
+//     and data-path faults (per-step retries absorb them);
+//   - dead-letter: the poisoned step — and only the poisoned step —
+//     exhausts its retries and parks on the workflow's DLQ topic,
+//     stalling exactly its own runs;
+//   - replayable redelivery: deploying the missing function and
+//     replaying the DLQ completes every stalled run and drains the
+//     queue;
+//   - determinism: a fixed seed reproduces the metrics dump and the
+//     event journal byte for byte, recovery phase included.
+
+const (
+	// wfchainSeed pins the fault schedule for the workflow storm.
+	wfchainSeed = 31
+	// wfchainRate matches the chaos experiment's ~1% per-operation rate.
+	wfchainRate = 0.01
+	// wfchainCronEvery/Offset schedule the Alexa heartbeat; the storm
+	// window below yields a deterministic firing count.
+	wfchainCronEvery  = 5 * time.Millisecond
+	wfchainCronOffset = time.Millisecond
+)
+
+// wfchainMissing is the poisoned branch's callee. It is NOT deployed
+// during the storm — the step fails permanently and dead-letters — and
+// is installed only for the recovery phase.
+var wfchainMissing = platform.Function{
+	Name:             "wf-missing",
+	Source:           `func main(params) { return {"recovered": true, "text": params.text}; }`,
+	Lang:             runtime.LangNode,
+	DefaultParams:    map[string]any{"text": "prime"},
+	DirtyBytesPerRun: 1 << 20,
+}
+
+// wfchainPipeline is the fan-out/fan-in DAG with the poisoned branch:
+// intent fans out to a healthy skill and the missing function, and the
+// join needs both — so every run stalls until the DLQ is replayed.
+func wfchainPipeline() *workflow.Spec {
+	return &workflow.Spec{
+		Name: "pipeline",
+		Steps: []workflow.Step{
+			{ID: "head", Function: workloads.NameAlexaIntent},
+			{ID: "healthy", Function: workloads.NameAlexaFact, After: []string{"head"},
+				Input: map[string]any{"query": "$input.text"}},
+			{ID: "poison", Function: wfchainMissing.Name, After: []string{"head"}},
+			{ID: "join", Function: workloads.NameAlexaIntent, After: []string{"healthy", "poison"}},
+		},
+	}
+}
+
+// wfchainOutcome is what one seeded storm (plus recovery) produced.
+type wfchainOutcome struct {
+	// healthy/poisoned run counts at the end of the storm, before
+	// recovery. stalledOther counts non-pipeline runs that failed to
+	// complete — the at-least-once check requires zero.
+	healthyRuns  int
+	poisonedRuns int
+	stalledOther int
+	cronFired    int64
+	feedFired    int64
+	injected     int64
+	// DLQ state observed between storm and recovery.
+	parked   []workflow.DLQRecord
+	dlqDepth int64
+	// recovery results.
+	recovered   int
+	depthAfter  int64
+	redelivered int64
+	// determinism witnesses + Perfetto artifact.
+	dump   string
+	ndjson []byte
+	chrome []byte
+}
+
+// runWfchainOnce replays the seeded workflow storm once.
+func runWfchainOnce(seed uint64) (*wfchainOutcome, error) {
+	plane := faults.NewPlane(seed)
+	env := platform.NewEnv(platform.EnvConfig{Faults: plane})
+	fw := core.New(env, core.Options{Retry: faults.DefaultRetryPolicy()})
+
+	// Install fault-free (same methodology as chaos: the storm targets
+	// the data path, not the one-time deploy), then arm the plane.
+	apps := append(append(workloads.AlexaSkills(), workloads.DataAnalysis()...), workloads.WorkflowFunctions()...)
+	for i := len(apps) - 1; i >= 0; i-- {
+		if _, err := fw.Install(apps[i].Function); err != nil {
+			return nil, fmt.Errorf("wfchain: install %s: %w", apps[i].Name, err)
+		}
+	}
+
+	eng := workflow.New(env.Bus, env.Events, env.Metrics, fw, workflow.Options{Retry: faults.DefaultRetryPolicy()})
+	for _, spec := range []*workflow.Spec{
+		workloads.AlexaWorkflow(),
+		workloads.WageInsertWorkflow(),
+		workloads.WageAnalysisWorkflow(),
+		wfchainPipeline(),
+	} {
+		if err := eng.Register(spec); err != nil {
+			return nil, fmt.Errorf("wfchain: register %s: %w", spec.Name, err)
+		}
+	}
+	eng.AddCron("alexa", wfchainCronEvery, wfchainCronOffset,
+		map[string]any{"text": "remind me to check the storm", "action": "list"})
+	eng.AddChangeFeed(env.Couch.CreateDB("wages"), "wage-analysis",
+		func(c couchdb.Change) bool { return !c.Deleted && strings.HasPrefix(c.ID, "wage-e") },
+		func(c couchdb.Change) map[string]any { return map[string]any{"trigger": c.ID} })
+
+	plane.ApplyDefaultPlan(wfchainRate)
+
+	// The storm: wage ingests arrive every 7 ms; each Tick first fires
+	// any cron heartbeats that came due, each Drain runs the analysis
+	// chains the ingest's database write triggered, and every other
+	// ingest is chased by a poisoned pipeline run. Run errors are part
+	// of the deterministic schedule (enqueue retries can exhaust), so
+	// they are tolerated — the status accounting below is the judge.
+	out := &wfchainOutcome{}
+	var now time.Duration
+	for i, rec := range wageRecords {
+		now = time.Duration(i+1) * 7 * time.Millisecond
+		eng.Tick(now)
+		_, _ = eng.Run("wage-ingest", rec, now)
+		eng.Drain(now)
+		if i%2 == 0 {
+			_, _ = eng.Run("pipeline", map[string]any{"text": "poisoned request"}, now)
+		}
+	}
+	now += wfchainCronEvery
+	eng.Tick(now)
+
+	for _, r := range eng.Runs() {
+		if r.Workflow == "pipeline" {
+			out.poisonedRuns++
+			continue
+		}
+		out.healthyRuns++
+		if r.Status != workflow.RunCompleted {
+			out.stalledOther++
+		}
+	}
+	parked, err := eng.DLQ("pipeline")
+	if err != nil {
+		return nil, err
+	}
+	out.parked = parked
+
+	reg := env.Metrics
+	out.cronFired = reg.Counter(metrics.Name("workflow_triggers_fired_total", "source", workflow.SourceCron)).Value()
+	out.feedFired = reg.Counter(metrics.Name("workflow_triggers_fired_total", "source", workflow.SourceChangeFeed)).Value()
+	out.dlqDepth = reg.Gauge(metrics.Name("workflow_dlq_depth", "workflow", "pipeline")).Value()
+
+	// Recovery, under the same armed storm: deploy the missing function
+	// and replay the dead letters. Every stalled pipeline run must
+	// resume from its parked step and complete.
+	if _, err := fw.Install(wfchainMissing); err != nil {
+		return nil, fmt.Errorf("wfchain: install recovery function: %w", err)
+	}
+	replayed, err := eng.ReplayDLQ("pipeline", now+wfchainCronEvery)
+	if err != nil {
+		return nil, fmt.Errorf("wfchain: replay DLQ: %w", err)
+	}
+	for _, r := range replayed {
+		if r.Status == workflow.RunCompleted {
+			out.recovered++
+		}
+	}
+	out.depthAfter = reg.Gauge(metrics.Name("workflow_dlq_depth", "workflow", "pipeline")).Value()
+	out.redelivered = reg.Counter("workflow_dlq_redelivered_total").Value()
+	for _, cs := range reg.Snapshot().Counters {
+		if strings.HasPrefix(cs.Name, "faults_injected_total{") {
+			out.injected += cs.Value
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		return nil, err
+	}
+	out.dump = sb.String()
+	evs := env.Events.Events()
+	var nd, ch bytes.Buffer
+	if err := events.WriteNDJSON(&nd, evs); err != nil {
+		return nil, err
+	}
+	if err := events.WriteChromeTrace(&ch, evs); err != nil {
+		return nil, err
+	}
+	out.ndjson = nd.Bytes()
+	out.chrome = ch.Bytes()
+	return out, nil
+}
+
+// RunWfchain is registered as experiment id "wfchain".
+func RunWfchain() (*Result, error) {
+	storm, err := runWfchainOnce(wfchainSeed)
+	if err != nil {
+		return nil, err
+	}
+	replay, err := runWfchainOnce(wfchainSeed)
+	if err != nil {
+		return nil, err
+	}
+	reproducible := storm.dump == replay.dump
+	traceReproducible := bytes.Equal(storm.ndjson, replay.ndjson)
+
+	res := &Result{ID: "wfchain"}
+	res.Tables = append(res.Tables, Table{
+		ID:     "wfchain",
+		Title:  fmt.Sprintf("Workflow chains under the chaos storm (seed %d, %.0f%% fault rate)", wfchainSeed, wfchainRate*100),
+		Header: []string{"phase", "healthy runs", "poisoned runs", "cron fires", "feed fires", "faults", "DLQ depth"},
+		Rows: [][]string{
+			{"storm", fmt.Sprintf("%d", storm.healthyRuns), fmt.Sprintf("%d", storm.poisonedRuns),
+				fmt.Sprintf("%d", storm.cronFired), fmt.Sprintf("%d", storm.feedFired),
+				fmt.Sprintf("%d", storm.injected), fmt.Sprintf("%d", storm.dlqDepth)},
+			{"after DLQ replay", fmt.Sprintf("%d", storm.healthyRuns+storm.recovered), "0",
+				"-", "-", "-", fmt.Sprintf("%d", storm.depthAfter)},
+		},
+		Notes: []string{
+			"poisoned pipeline runs fan out to a function that is not deployed until recovery",
+			"healthy runs = cron-fired Alexa + wage ingests + change-feed-fired analyses",
+		},
+	})
+
+	poisonOnly := len(storm.parked) == storm.poisonedRuns && storm.poisonedRuns > 0
+	for _, rec := range storm.parked {
+		if rec.Step != "poison" || rec.Function != wfchainMissing.Name {
+			poisonOnly = false
+		}
+	}
+	res.Checks = append(res.Checks,
+		Check{
+			Name:     "at-least-once: healthy runs complete under faults",
+			Expected: "0 stalled, faults > 0",
+			Measured: fmt.Sprintf("%d/%d stalled (%d faults injected)", storm.stalledOther, storm.healthyRuns, storm.injected),
+			Pass:     storm.stalledOther == 0 && storm.healthyRuns > 0 && storm.injected > 0,
+		},
+		Check{
+			Name:     "both trigger sources fired",
+			Expected: "cron and change-feed runs",
+			Measured: fmt.Sprintf("%d cron, %d change-feed", storm.cronFired, storm.feedFired),
+			Pass:     storm.cronFired > 0 && storm.feedFired > 0,
+		},
+		Check{
+			Name:     "DLQ parks exactly the poisoned steps",
+			Expected: "one record per poisoned run, step=poison",
+			Measured: fmt.Sprintf("%d records / %d poisoned runs (depth %d)", len(storm.parked), storm.poisonedRuns, storm.dlqDepth),
+			Pass:     poisonOnly && storm.dlqDepth == int64(len(storm.parked)),
+		},
+		Check{
+			Name:     "DLQ replay completes every stalled run",
+			Expected: "all recovered, depth 0",
+			Measured: fmt.Sprintf("%d/%d recovered, depth %d, redelivered %d", storm.recovered, storm.poisonedRuns, storm.depthAfter, storm.redelivered),
+			Pass:     storm.recovered == storm.poisonedRuns && storm.depthAfter == 0 && storm.redelivered == int64(len(storm.parked)),
+		},
+		Check{
+			Name:     "fixed seed reproduces the metrics dump",
+			Expected: "byte-identical",
+			Measured: map[bool]string{true: "identical", false: "DIVERGED"}[reproducible],
+			Pass:     reproducible,
+		},
+		Check{
+			Name:     "fixed seed reproduces the event journal",
+			Expected: "byte-identical NDJSON",
+			Measured: map[bool]string{true: "identical", false: "DIVERGED"}[traceReproducible],
+			Pass:     traceReproducible,
+		},
+	)
+	res.Artifacts = append(res.Artifacts,
+		Artifact{Name: "wfchain-trace.json", Contents: storm.chrome},
+		Artifact{Name: "wfchain-trace.ndjson", Contents: storm.ndjson},
+	)
+	return res, nil
+}

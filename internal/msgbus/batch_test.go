@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 )
@@ -235,5 +236,82 @@ func TestConcurrentBatchProducers(t *testing.T) {
 	}
 	if len(seen) != total {
 		t.Errorf("%d distinct offsets, want %d", len(seen), total)
+	}
+}
+
+// TestConsumeFromTracedAt checks the traced batched consume: one
+// "consume-batch" journal event per non-empty read (linked back to the
+// producer's batch event), dwell recorded per stamped record, one
+// msgbus.consume fault consultation per call, and no event on an empty
+// poll.
+func TestConsumeFromTracedAt(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("jobs", 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	b.Instrument(reg)
+	journal := events.NewJournal(0)
+	sc := journal.NewScope("test", "batch-read", 0)
+
+	if _, err := b.ProduceBatchTracedAt("jobs", batchOf(4, "k"), time.Millisecond, sc); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := b.ConsumeFromTracedAt("jobs", 0, 0, 0, 3*time.Millisecond, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 4 {
+		t.Fatalf("consumed %d messages, want 4", len(msgs))
+	}
+	var produceRef events.Ref
+	var batchEvents []events.Event
+	for _, e := range journal.Events() {
+		switch e.Name {
+		case "produce-batch":
+			produceRef = events.Ref{Trace: e.Trace, Span: e.Span}
+		case "consume-batch":
+			batchEvents = append(batchEvents, e)
+		}
+	}
+	if len(batchEvents) != 1 {
+		t.Fatalf("journal has %d consume-batch events, want 1", len(batchEvents))
+	}
+	if batchEvents[0].Link != produceRef {
+		t.Errorf("consume-batch link = %+v, want the produce-batch ref %+v", batchEvents[0].Link, produceRef)
+	}
+	count := ""
+	for _, a := range batchEvents[0].Attrs {
+		if a.Key == "count" {
+			count = a.Value
+		}
+	}
+	if count != "4" {
+		t.Errorf("consume-batch count attr = %q, want 4", count)
+	}
+	if got := reg.Histogram("msgbus_dwell").Count(); got != 4 {
+		t.Errorf("dwell observations = %d, want one per record", got)
+	}
+
+	// An empty poll at the log end records no journal event.
+	before := journal.Len()
+	if _, err := b.ConsumeFromTracedAt("jobs", 0, 4, 0, 4*time.Millisecond, sc); err != nil {
+		t.Fatal(err)
+	}
+	if journal.Len() != before {
+		t.Errorf("empty traced poll appended %d events", journal.Len()-before)
+	}
+
+	// The consume site is consulted once per call: a single armed fault
+	// fails the whole poll, and the next poll succeeds.
+	plane := faults.NewPlane(11)
+	b.AttachFaults(plane)
+	plane.Enqueue(faults.SiteBusConsume, faults.KindError)
+	if _, err := b.ConsumeFromTracedAt("jobs", 0, 0, 0, 5*time.Millisecond, sc); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("armed consume fault: err %v, want ErrInjected", err)
+	}
+	msgs, err = b.ConsumeFromTracedAt("jobs", 0, 0, 0, 6*time.Millisecond, sc)
+	if err != nil || len(msgs) != 4 {
+		t.Fatalf("poll after fault drained: %d msgs, err %v", len(msgs), err)
 	}
 }

@@ -376,6 +376,30 @@ func (b *Broker) consumeFrom(topicName string, partitionID int, offset int64, ma
 	return out, nil
 }
 
+// ConsumeFromTracedAt is ConsumeFromAt under an event scope, the
+// consume-side symmetry of ProduceBatchTracedAt: the msgbus.consume
+// fault site is consulted once for the whole batch (a consumer group
+// poll fails or succeeds as a unit), and a non-empty read emits ONE
+// "consume-batch" journal event — causally linked to the first
+// record's produce event — instead of one event per record. Queue
+// dwell is still recorded per stamped record.
+func (b *Broker) ConsumeFromTracedAt(topicName string, partitionID int, offset int64, max int, at time.Duration, sc *events.Scope) ([]Message, error) {
+	if err := b.faults.InjectTraced(faults.SiteBusConsume, nil, sc, at); err != nil {
+		return nil, fmt.Errorf("msgbus: consume from %q: %w", topicName, err)
+	}
+	msgs, err := b.consumeFrom(topicName, partitionID, offset, max, at, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(msgs) > 0 {
+		sc.InstantLinked("msgbus", "consume-batch", at, msgs[0].Produced,
+			events.A("topic", topicName),
+			events.A("offset", strconv.FormatInt(offset, 10)),
+			events.A("count", strconv.Itoa(len(msgs))))
+	}
+	return msgs, nil
+}
+
 // ConsumeAt returns the record at the given offset of a partition.
 func (b *Broker) ConsumeAt(topicName string, partitionID int, offset int64) (Message, error) {
 	t, err := b.topic(topicName)

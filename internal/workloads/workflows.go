@@ -1,0 +1,220 @@
+package workloads
+
+import (
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/workflow"
+)
+
+// Workflow step function names: the single-responsibility pieces the
+// declarative DAGs compose. The hand-wired chain heads
+// (alexa-frontend, wage-insert, wage-analyze) stay deployed for
+// comparison benchmarks; these split their dispatch/validation/
+// analysis stages out of the imperative invoke() chains so the
+// workflow engine owns the composition instead.
+const (
+	NameAlexaIntent  = "alexa-intent"
+	NameWageValidate = "wage-validate"
+	NameWageStats    = "wage-stats"
+)
+
+// alexaIntentSource is the classifier stage of the Alexa frontend
+// (same tokenizer and intent scoring as alexaFrontendSource) without
+// the imperative dispatch: it only names the intent, and the workflow
+// DAG's conditional branches route to the matching skill.
+const alexaIntentSource = `
+// Alexa intent classifier: voice analysis without dispatch.
+func tokenize(text) {
+  let words = split(lower(text), " ");
+  let out = [];
+  for (w in words) {
+    let t = trim(w);
+    if (len(t) > 0) { push(out, t); }
+  }
+  return out;
+}
+
+func scoreIntent(tokens, keywords) {
+  let score = 0;
+  for (t in tokens) {
+    for (k in keywords) {
+      if (t == k) { score = score + 2; }
+      if (contains(t, k)) { score = score + 1; }
+    }
+  }
+  return score;
+}
+
+func main(params) {
+  let text = params.text;
+  if (text == null) { text = "tell me a fact"; }
+  let tokens = tokenize(text);
+  let factScore = scoreIntent(tokens, ["fact", "tell", "know", "trivia"]);
+  let remindScore = scoreIntent(tokens, ["remind", "reminder", "schedule", "calendar", "appointment"]);
+  let homeScore = scoreIntent(tokens, ["light", "lights", "door", "tv", "home", "turn", "lock", "status"]);
+  let intent = "fact";
+  if (remindScore >= factScore && remindScore >= homeScore && remindScore > 0) {
+    intent = "reminder";
+  } else {
+    if (homeScore >= factScore && homeScore > 0) {
+      intent = "smarthome";
+    }
+  }
+  return {"intent": intent, "text": text};
+}
+`
+
+// wageValidateSource is wage-insert's validation stage without the
+// chained invoke("wage-persist"): it returns the normalized document
+// and lets the workflow DAG hand it to the persist step.
+const wageValidateSource = `
+// Data analysis: validate and normalize one wage record.
+func validRecord(params) {
+  if (params.name == null) { return false; }
+  if (params.id == null) { return false; }
+  if (params.role == null) { return false; }
+  if (params.base == null) { return false; }
+  if (params.base < 0) { return false; }
+  return true;
+}
+
+func main(params) {
+  if (!validRecord(params)) {
+    http_respond(400, "invalid wage record");
+    return null;
+  }
+  let doc = {
+    "_id": "wage-" + params.id,
+    "type": "wage",
+    "name": params.name,
+    "id": params.id,
+    "role": lower(params.role),
+    "base": params.base
+  };
+  http_respond(200, "validated " + doc["_id"]);
+  return doc;
+}
+`
+
+// wageStatsSource is wage-analyze's statistics stage without the
+// chained invoke("wage-report"): same bonus/tax model, but the stats
+// document is returned for the DAG to route onward.
+const wageStatsSource = `
+// Data analysis: calculate bonuses and taxes, make statistics.
+func bonusFor(role, base) {
+  if (role == "manager") { return base / 5; }
+  if (role == "engineer") { return base / 4; }
+  return base / 10;
+}
+
+func taxFor(gross) {
+  // Progressive brackets.
+  let tax = 0;
+  if (gross > 100000) {
+    tax = tax + (gross - 100000) * 40 / 100;
+    gross = 100000;
+  }
+  if (gross > 50000) {
+    tax = tax + (gross - 50000) * 30 / 100;
+    gross = 50000;
+  }
+  tax = tax + gross * 15 / 100;
+  return tax;
+}
+
+func main(params) {
+  let wages = db_find("wages", {"type": "wage"});
+  let byRole = {};
+  let totalNet = 0;
+  for (doc in wages) {
+    let bonus = bonusFor(doc.role, doc.base);
+    let gross = doc.base + bonus;
+    let tax = taxFor(gross);
+    let net = gross - tax;
+    totalNet = totalNet + net;
+    if (byRole[doc.role] == null) {
+      byRole[doc.role] = {"count": 0, "net": 0};
+    }
+    byRole[doc.role]["count"] = byRole[doc.role]["count"] + 1;
+    byRole[doc.role]["net"] = byRole[doc.role]["net"] + net;
+  }
+  return {
+    "_id": "stats-latest",
+    "type": "stats",
+    "employees": len(wages),
+    "total_net": totalNet,
+    "by_role": byRole
+  };
+}
+`
+
+// WorkflowFunctions returns the step functions the declarative DAGs
+// compose. Deploy them alongside AlexaSkills()/DataAnalysis() — the
+// DAG leaves (alexa-fact, wage-persist, …) come from those suites.
+func WorkflowFunctions() []Workload {
+	lang := runtime.LangNode
+	return []Workload{
+		{Function: platform.Function{Name: NameAlexaIntent, Source: alexaIntentSource, Lang: lang,
+			DefaultParams:    map[string]any{"text": "tell me a fact"},
+			DirtyBytesPerRun: 1 << 20},
+			Description: "Alexa intent classifier (workflow step)", Suite: "ServerlessBench"},
+		{Function: platform.Function{Name: NameWageValidate, Source: wageValidateSource, Lang: lang,
+			DefaultParams: map[string]any{"name": "prime", "id": "p0", "role": "engineer",
+				"base": 52000},
+			DirtyBytesPerRun: 1 << 20},
+			Description: "Validate wage input (workflow step)", Suite: "ServerlessBench"},
+		{Function: platform.Function{Name: NameWageStats, Source: wageStatsSource, Lang: lang,
+			DefaultParams:    map[string]any{"trigger": "prime"},
+			DirtyBytesPerRun: 2 << 20},
+			Description: "Wage statistics (workflow step)", Suite: "ServerlessBench"},
+	}
+}
+
+// AlexaWorkflow is the declarative form of the Figure 8(a) Alexa
+// chain: classify the utterance, then take exactly one conditional
+// branch to the matching skill.
+func AlexaWorkflow() *workflow.Spec {
+	return &workflow.Spec{
+		Name: "alexa",
+		Steps: []workflow.Step{
+			{ID: "intent", Function: NameAlexaIntent},
+			{ID: "fact", Function: NameAlexaFact, After: []string{"intent"},
+				When:  &workflow.Condition{Step: "intent", Key: "intent", Equals: "fact"},
+				Input: map[string]any{"query": "$input.text"}},
+			{ID: "reminder", Function: NameAlexaReminder, After: []string{"intent"},
+				When: &workflow.Condition{Step: "intent", Key: "intent", Equals: "reminder"}},
+			{ID: "smarthome", Function: NameAlexaSmartHome, After: []string{"intent"},
+				When: &workflow.Condition{Step: "intent", Key: "intent", Equals: "smarthome"}},
+		},
+	}
+}
+
+// WageInsertWorkflow is the declarative form of the Figure 8(b)
+// insertion chain: validate/normalize, then persist the normalized
+// document.
+func WageInsertWorkflow() *workflow.Spec {
+	return &workflow.Spec{
+		Name: "wage-ingest",
+		Steps: []workflow.Step{
+			{ID: "validate", Function: NameWageValidate},
+			{ID: "persist", Function: NameWagePersist, After: []string{"validate"},
+				InputFrom: "$steps.validate"},
+		},
+	}
+}
+
+// WageAnalysisWorkflow is the declarative form of the Figure 8(b)
+// database-triggered analysis chain: compute statistics over all
+// stored wages, then store the report. Register it with a change-feed
+// trigger on the "wages" database to reproduce the dashed
+// trigger-on-update edge.
+func WageAnalysisWorkflow() *workflow.Spec {
+	return &workflow.Spec{
+		Name: "wage-analysis",
+		Steps: []workflow.Step{
+			{ID: "stats", Function: NameWageStats},
+			{ID: "report", Function: NameWageReport, After: []string{"stats"},
+				InputFrom: "$steps.stats"},
+		},
+	}
+}
