@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race trace-demo mem-demo bench-gate bench-baseline
+.PHONY: check vet build test race trace-demo mem-demo insight-demo bench-gate bench-baseline
 
 # check is the tier-1 gate: everything must pass before a merge.
 check: vet build test race
@@ -19,9 +19,10 @@ test:
 # pipeline, the fault-injection plane, the event journal, the message
 # bus, the host memory accountant, the chunked snapshot store, and the
 # telemetry sampler/watchdog — additionally run under the race
-# detector.
+# detector, as does the insight engine (it reads journals and metrics
+# registries that other goroutines still write).
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/... ./internal/events/... ./internal/msgbus/... ./internal/mem/... ./internal/snapshot/... ./internal/timeseries/... ./internal/workflow/...
+	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/... ./internal/events/... ./internal/msgbus/... ./internal/mem/... ./internal/snapshot/... ./internal/timeseries/... ./internal/workflow/... ./internal/insight/...
 
 # trace-demo runs a faulted fwsim demo, dumps its event journal as
 # Chrome trace-event JSON, and sanity-checks that the dump parses and
@@ -42,6 +43,19 @@ bench-gate:
 # the current machine. Commit the resulting BENCH_simharness.json.
 bench-baseline:
 	$(GO) run ./cmd/benchgate -write -benchtime 1s -count 2
+
+# insight-demo replays the chaos storm through the insight experiment,
+# writes the report and service-graph artifacts, and fails on any WARN
+# shape check (blame attribution, exemplar resolution, same-seed
+# byte-identical reports).
+insight-demo:
+	mkdir -p insight-demo-artifacts
+	$(GO) run ./cmd/fwbench -run insight -artifacts insight-demo-artifacts > insight-demo.log || { cat insight-demo.log; rm -f insight-demo.log; exit 1; }
+	cat insight-demo.log
+	! grep -q '\[WARN' insight-demo.log
+	grep -q 'digraph insight' insight-demo-artifacts/insight-servicegraph.dot
+	test -s insight-demo-artifacts/insight-report.json
+	rm -f insight-demo.log
 
 # mem-demo runs the memory-timeline experiment (Fig-10 methodology on a
 # scaled host), writes its CSV artifacts, and sanity-checks them with

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/experiments"
+	"repro/internal/insight"
 	"repro/internal/lang"
 	"repro/internal/lang/bytecode"
 	"repro/internal/lang/jit"
@@ -807,4 +808,50 @@ func BenchmarkWorkflowChain(b *testing.B) {
 		}
 		b.ReportMetric(float64(virtual)/float64(b.N), "ns_virtual/op")
 	})
+}
+
+// --- Insight engine (critical-path analysis cost) ---
+
+// benchInsightJournal builds a deterministic synthetic journal of just
+// over 10k events: invocation-shaped traces (gateway → cluster → core →
+// six stages, one bus instant) with varied stage costs.
+func benchInsightJournal() []events.Event {
+	j := events.NewJournal(0)
+	ts := time.Duration(0)
+	const traces = 530 // 19 events each → ~10k
+	for i := 0; i < traces; i++ {
+		sc := j.NewScope("gateway", "POST /invoke", ts)
+		sc.Begin("cluster", "request", ts)
+		sc.SetNode(fmt.Sprintf("node-%02d", i%3))
+		sc.Begin("core", "invoke", ts)
+		for _, stage := range []string{"snapshot-get", "restore-or-reuse", "netns", "runtime-revive", "execute", "release"} {
+			sc.Begin("core", stage, ts)
+			ts += time.Duration(50+i%97) * time.Microsecond
+			if stage == "execute" {
+				sc.Instant("msgbus", "produce", ts, events.A("topic", "bench"))
+			}
+			sc.End(ts)
+		}
+		sc.End(ts)
+		sc.End(ts)
+		sc.Close(ts)
+	}
+	return j.Events()
+}
+
+// BenchmarkCriticalPath measures full insight analysis — span-tree
+// reconstruction, critical paths, blame tables, and the service graph —
+// over a 10k-event journal.
+func BenchmarkCriticalPath(b *testing.B) {
+	evs := benchInsightJournal()
+	var traces int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := insight.Analyze(evs)
+		traces = rep.TraceCount
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
+	if traces != 530 {
+		b.Fatalf("analyzed %d traces, want 530", traces)
+	}
 }

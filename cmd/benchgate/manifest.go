@@ -72,6 +72,10 @@ var manifest = []BenchEntry{
 	// must stay in the imperative chain's envelope).
 	{Name: "BenchmarkWorkflowChain/handwired", Gate: true},
 	{Name: "BenchmarkWorkflowChain/declarative", Gate: true},
+
+	// Insight engine: gated — critical-path analysis over a 10k-event
+	// journal must stay cheap enough to run inside request handlers.
+	{Name: "BenchmarkCriticalPath", Gate: true},
 }
 
 // gatedPattern returns the -bench regexp selecting the gated set (or

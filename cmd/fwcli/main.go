@@ -11,6 +11,7 @@
 //	fwcli -builtin faas-fact-python -repeat 5 -metrics text
 //	fwcli -builtin faas-fact-python -trace-dump trace.json -profile
 //	fwcli -builtin faas-fact-python -repeat 5 -watch
+//	fwcli -builtin faas-fact-python -repeat 5 -insight
 //	fwcli -list-builtins
 //
 // With -watch each invocation additionally prints a one-line memory
@@ -19,6 +20,10 @@
 // with the smem-style per-VM memory report plus the snapshot page
 // lineage (see docs/memory.md). -timeseries-dump writes the sampled
 // series as CSV for offline plotting.
+//
+// -insight analyzes the run's event journal after the last invocation
+// and prints each trace's critical-path blame table plus the service
+// graph (see docs/insight.md).
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/insight"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
 	"repro/internal/timeseries"
@@ -52,6 +58,7 @@ func main() {
 	profile := flag.Bool("profile", false, "fold the run's event journal into virtual-time flame-stack lines on stderr")
 	watch := flag.Bool("watch", false, "print a memory-telemetry line per invocation and the smem-style memory report after the run")
 	tsDump := flag.String("timeseries-dump", "", "write the run's sampled telemetry series to this file as CSV")
+	insightFlag := flag.Bool("insight", false, "print the run's critical-path blame tables and service graph after the last invocation")
 	flag.Parse()
 
 	if *listBuiltins {
@@ -160,6 +167,38 @@ func main() {
 		if err := events.WriteProfile(os.Stderr, env.Events.Events()); err != nil {
 			fatal(fmt.Errorf("-profile: %w", err))
 		}
+	}
+	if *insightFlag {
+		printInsight(env.Events.Events())
+	}
+}
+
+// printInsight analyzes the run's journal and prints each trace's
+// blame table plus the service graph in DOT.
+func printInsight(evs []events.Event) {
+	rep := insight.Analyze(evs)
+	fmt.Printf("\ninsight: %d events, %d traces\n", rep.EventCount, rep.TraceCount)
+	for _, ti := range rep.Traces {
+		fmt.Printf("trace %d (%s) total=%v spans=%d", ti.Trace, ti.Root, ti.Total, ti.Spans)
+		if ti.Faults > 0 {
+			fmt.Printf(" faults=%d", ti.Faults)
+		}
+		if ti.Errors > 0 {
+			fmt.Printf(" errors=%d", ti.Errors)
+		}
+		fmt.Println()
+		for _, b := range ti.Blame {
+			fmt.Printf("   %-28s self=%-12v total=%-12v share=%d.%d%%",
+				b.Site, b.Self, b.Total, b.ShareMilli/10, b.ShareMilli%10)
+			if b.Faults > 0 {
+				fmt.Printf(" faults=%d", b.Faults)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+	if err := rep.Graph.WriteDOT(os.Stdout); err != nil {
+		fatal(fmt.Errorf("-insight: %w", err))
 	}
 }
 

@@ -85,6 +85,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/faults"
+	"repro/internal/insight"
 	"repro/internal/lang"
 	"repro/internal/metrics"
 	"repro/internal/msgbus"
@@ -332,6 +333,11 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /alerts", s.handleAlerts)
 	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /insight/criticalpath/{trace}", s.handleInsightCriticalPath)
+	mux.HandleFunc("GET /insight/servicegraph", s.handleInsightServiceGraph)
+	mux.HandleFunc("GET /insight/slowest", s.handleInsightSlowest)
+	mux.HandleFunc("GET /insight/report", s.handleInsightReport)
+	mux.HandleFunc("POST /insight/diff", s.handleInsightDiff)
 	mux.HandleFunc("DELETE /functions/{name}", s.handleRemove)
 	mux.HandleFunc("GET /workflows", s.handleWorkflows)
 	mux.HandleFunc("POST /workflows", s.handleWorkflowRegister)
@@ -702,14 +708,101 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	evs := s.c.Journal().Events()
 	if limitStr := r.URL.Query().Get("limit"); limitStr != "" {
+		// A limit must be a positive integer; zero, negatives, and
+		// garbage are client errors, not silent defaults.
 		limit, err := strconv.Atoi(limitStr)
-		if err != nil || limit < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("events: bad limit %q", limitStr))
+		if err != nil || limit <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("events: bad limit %q (want a positive integer)", limitStr))
 			return
 		}
 		evs = s.c.Journal().Tail(limit)
 	}
 	s.writeEvents(w, r, evs)
+}
+
+// handleInsightCriticalPath serves one trace's critical-path analysis:
+// the ranked blame table and the root→leaf path of dominant spans.
+func (s *server) handleInsightCriticalPath(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("trace"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("insight: trace id: %w", err))
+		return
+	}
+	ti, ok := insight.AnalyzeTrace(s.c.Journal().Trace(events.TraceID(id)))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("insight: trace %d: no events", id))
+		return
+	}
+	insight.CountReport(s.c.Metrics(), "criticalpath")
+	writeJSON(w, http.StatusOK, ti)
+}
+
+// handleInsightServiceGraph serves the component graph with per-edge
+// RED stats, as json (default), dot, or mermaid.
+func (s *server) handleInsightServiceGraph(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	contentType := "application/json"
+	if format == "dot" || format == "mermaid" {
+		contentType = "text/plain; charset=utf-8"
+	}
+	g := insight.Analyze(s.c.Journal().Events()).Graph
+	var buf strings.Builder
+	if err := g.WriteFormat(&buf, format); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	insight.CountReport(s.c.Metrics(), "servicegraph")
+	w.Header().Set("Content-Type", contentType)
+	_, _ = io.WriteString(w, buf.String())
+}
+
+// handleInsightSlowest serves the k slowest traces with their critical
+// paths — the tail-latency exemplar report.
+func (s *server) handleInsightSlowest(w http.ResponseWriter, r *http.Request) {
+	k := 5
+	if kStr := r.URL.Query().Get("k"); kStr != "" {
+		v, err := strconv.Atoi(kStr)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("insight: bad k %q (want a positive integer)", kStr))
+			return
+		}
+		k = v
+	}
+	rep := insight.Analyze(s.c.Journal().Events())
+	insight.CountReport(s.c.Metrics(), "slowest")
+	writeJSON(w, http.StatusOK, rep.Slowest(k))
+}
+
+// handleInsightReport serves the full analysis — every trace's
+// critical path plus the service graph — the artifact /insight/diff
+// compares.
+func (s *server) handleInsightReport(w http.ResponseWriter, r *http.Request) {
+	rep := insight.Analyze(s.c.Journal().Events())
+	insight.CountReport(s.c.Metrics(), "report")
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleInsightDiff compares two insight reports POSTed as
+// {"a": <report>, "b": <report>} and attributes the delta to blame
+// sites and graph edges.
+func (s *server) handleInsightDiff(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		A *insight.Report `json:"a"`
+		B *insight.Report `json:"b"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("insight: diff body: %w", err))
+		return
+	}
+	if req.A == nil || req.B == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("insight: diff needs both \"a\" and \"b\" reports"))
+		return
+	}
+	insight.CountReport(s.c.Metrics(), "diff")
+	writeJSON(w, http.StatusOK, insight.Diff(req.A, req.B))
 }
 
 // writeEvents renders a slice of journal events per the request's

@@ -673,3 +673,199 @@ func TestWorkflowDLQOverHTTP(t *testing.T) {
 		t.Fatalf("dlq not drained:\n%s", body)
 	}
 }
+
+func TestEventsLimitValidationAndContentType(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/install", installBody)
+	post(t, ts.URL+"/invoke/hello", `{"who": "x"}`)
+
+	// NDJSON responses carry the NDJSON content type.
+	resp, err := http.Get(ts.URL + "/events?limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type = %q, want application/x-ndjson", ct)
+	}
+
+	// Non-positive and garbage limits are client errors, not silent
+	// defaults.
+	for _, bad := range []string{"0", "-1", "bogus", "1.5"} {
+		status, body := get(t, ts.URL+"/events?limit="+bad)
+		if status != http.StatusBadRequest {
+			t.Errorf("limit=%s status = %d, want 400: %s", bad, status, body)
+		}
+	}
+}
+
+func TestInsightEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/install", installBody)
+	var traceID int
+	for i := 0; i < 3; i++ {
+		_, out := post(t, ts.URL+"/invoke/hello", `{"who": "x"}`)
+		traceID = int(out["trace_id"].(float64))
+	}
+
+	// Critical path: blame table present, top entry is a real site,
+	// shares of the path steps are sane.
+	status, body := get(t, ts.URL+"/insight/criticalpath/"+strconv.Itoa(traceID))
+	if status != http.StatusOK {
+		t.Fatalf("criticalpath status = %d: %s", status, body)
+	}
+	var ti struct {
+		Root  string `json:"root"`
+		Total int64  `json:"total_ns"`
+		Path  []map[string]any
+		Blame []struct {
+			Site   string `json:"site"`
+			SelfNS int64  `json:"self_ns"`
+		} `json:"blame"`
+	}
+	if err := json.Unmarshal(body, &ti); err != nil {
+		t.Fatalf("criticalpath does not parse: %v", err)
+	}
+	if ti.Root != "gateway:POST /invoke" || ti.Total <= 0 {
+		t.Errorf("criticalpath root=%q total=%d", ti.Root, ti.Total)
+	}
+	if len(ti.Blame) == 0 || !strings.Contains(ti.Blame[0].Site, ":") {
+		t.Errorf("blame table: %+v", ti.Blame)
+	}
+	for i := 1; i < len(ti.Blame); i++ {
+		if ti.Blame[i].SelfNS > ti.Blame[i-1].SelfNS {
+			t.Errorf("blame not ranked: %+v", ti.Blame)
+		}
+	}
+	if status, _ := get(t, ts.URL+"/insight/criticalpath/bogus"); status != http.StatusBadRequest {
+		t.Errorf("bad trace id status = %d", status)
+	}
+	if status, _ := get(t, ts.URL+"/insight/criticalpath/999999"); status != http.StatusNotFound {
+		t.Errorf("unknown trace status = %d", status)
+	}
+
+	// Service graph formats.
+	status, body = get(t, ts.URL+"/insight/servicegraph?format=dot")
+	if status != http.StatusOK || !strings.HasPrefix(string(body), "digraph insight {") {
+		t.Errorf("dot graph status=%d:\n%s", status, body)
+	}
+	if !strings.Contains(string(body), `"gateway" -> "cluster"`) {
+		t.Errorf("dot graph missing gateway→cluster edge:\n%s", body)
+	}
+	status, body = get(t, ts.URL+"/insight/servicegraph?format=mermaid")
+	if status != http.StatusOK || !strings.HasPrefix(string(body), "graph LR") {
+		t.Errorf("mermaid graph status=%d:\n%s", status, body)
+	}
+	status, body = get(t, ts.URL+"/insight/servicegraph")
+	if status != http.StatusOK {
+		t.Fatalf("json graph status = %d", status)
+	}
+	var graph struct {
+		Nodes []map[string]any `json:"nodes"`
+		Edges []map[string]any `json:"edges"`
+	}
+	if err := json.Unmarshal(body, &graph); err != nil {
+		t.Fatalf("graph does not parse: %v", err)
+	}
+	if len(graph.Nodes) == 0 || len(graph.Edges) == 0 {
+		t.Errorf("graph empty: %d nodes %d edges", len(graph.Nodes), len(graph.Edges))
+	}
+	if status, _ := get(t, ts.URL+"/insight/servicegraph?format=xml"); status != http.StatusBadRequest {
+		t.Errorf("unknown graph format status = %d", status)
+	}
+
+	// Slowest-K.
+	status, body = get(t, ts.URL+"/insight/slowest?k=2")
+	if status != http.StatusOK {
+		t.Fatalf("slowest status = %d", status)
+	}
+	var slow []struct {
+		Trace int   `json:"trace"`
+		Total int64 `json:"total_ns"`
+	}
+	if err := json.Unmarshal(body, &slow); err != nil {
+		t.Fatalf("slowest does not parse: %v", err)
+	}
+	if len(slow) != 2 || slow[0].Total < slow[1].Total {
+		t.Errorf("slowest(2) = %+v", slow)
+	}
+	for _, bad := range []string{"0", "-3", "x"} {
+		if status, _ := get(t, ts.URL+"/insight/slowest?k="+bad); status != http.StatusBadRequest {
+			t.Errorf("slowest k=%s status = %d, want 400", bad, status)
+		}
+	}
+
+	// Full report and self-diff (zero delta).
+	status, body = get(t, ts.URL+"/insight/report")
+	if status != http.StatusOK {
+		t.Fatalf("report status = %d", status)
+	}
+	diffBody := `{"a": ` + string(body) + `, "b": ` + string(body) + `}`
+	status, out := post(t, ts.URL+"/insight/diff", diffBody)
+	if status != http.StatusOK {
+		t.Fatalf("diff status = %d: %v", status, out)
+	}
+	if out["delta_ns"].(float64) != 0 {
+		t.Errorf("self-diff delta = %v, want 0", out["delta_ns"])
+	}
+	if status, _ := post(t, ts.URL+"/insight/diff", `{"a": null}`); status != http.StatusBadRequest {
+		t.Errorf("half-empty diff status = %d", status)
+	}
+}
+
+func TestHistogramExemplarsResolveToTraces(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/install", installBody)
+	for i := 0; i < 3; i++ {
+		post(t, ts.URL+"/invoke/hello", `{"who": "x"}`)
+	}
+
+	_, body := get(t, ts.URL+"/metrics?format=json")
+	var snap struct {
+		Histograms []struct {
+			Name      string `json:"name"`
+			Count     uint64 `json:"count"`
+			Exemplars []struct {
+				Trace uint64 `json:"trace"`
+			} `json:"exemplars"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	checked := 0
+	for _, h := range snap.Histograms {
+		if h.Count == 0 || len(h.Exemplars) == 0 {
+			continue
+		}
+		checked++
+		for _, ex := range h.Exemplars {
+			if ex.Trace == 0 {
+				t.Errorf("%s: zero exemplar trace", h.Name)
+				continue
+			}
+			status, _ := get(t, ts.URL+"/trace/"+strconv.FormatUint(ex.Trace, 10))
+			if status != http.StatusOK {
+				t.Errorf("%s: exemplar trace %d not resolvable (%d)", h.Name, ex.Trace, status)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no histogram carried exemplars")
+	}
+	// The core invoke-path histograms must all carry them.
+	for _, want := range []string{"invoke_latency", "fireworks_install_duration", "vmm_snapshot_restore_duration"} {
+		found := false
+		for _, h := range snap.Histograms {
+			if strings.HasPrefix(h.Name, want) && len(h.Exemplars) > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("histogram %s* carries no exemplars", want)
+		}
+	}
+}

@@ -267,7 +267,8 @@ func (f *Framework) Install(fn platform.Function) (*platform.InstallReport, erro
 
 	report.Duration = clock.Now()
 	f.env.Metrics.Counter("fireworks_install_total").Inc()
-	f.env.Metrics.Histogram("fireworks_install_duration").ObserveDuration(report.Duration)
+	f.env.Metrics.Histogram("fireworks_install_duration").
+		ObserveDurationExemplar(report.Duration, uint64(sc.TraceID()), clock.Now())
 	f.mu.Lock()
 	f.fns[fn.Name] = inst
 	f.mu.Unlock()
@@ -324,7 +325,7 @@ func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.R
 	// state), whose chunks every later function snapshot dedups
 	// against.
 	if !f.env.Snaps.Has(baseName) {
-		base, berr := f.env.HV.TakeSnapshot(vm, vmm.SnapPostLoad, baseSpecs, snapshotWorkingSetBytes, nil, clock)
+		base, berr := f.env.HV.TakeSnapshotTraced(vm, vmm.SnapPostLoad, baseSpecs, snapshotWorkingSetBytes, nil, clock, sc)
 		if berr != nil {
 			return berr
 		}
@@ -349,7 +350,7 @@ func (f *Framework) takeSnapshot(inst *installed, vm *vmm.MicroVM, rt *runtime.R
 	if foot.JITCode > 0 {
 		specs = append(specs, vmm.RegionSpec{Kind: mem.KindJITCode, Bytes: foot.JITCode, Content: "fn:" + contentKey})
 	}
-	snap, err := f.env.HV.TakeSnapshot(vm, vmm.SnapPostJIT, specs, snapshotWorkingSetBytes, template, clock)
+	snap, err := f.env.HV.TakeSnapshotTraced(vm, vmm.SnapPostJIT, specs, snapshotWorkingSetBytes, template, clock, sc)
 	if err != nil {
 		return err
 	}
@@ -721,7 +722,8 @@ func (f *Framework) stageRevive(st *invokeState, inv *platform.Invocation, cl *l
 	restoreSpan := inv.Clock.Since(st.startupMark)
 	inv.Breakdown.Add(trace.PhaseStartup, "snapshot-restore", restoreSpan)
 	inv.Breakdown.EndSpan(inv.Clock.Now())
-	f.env.Metrics.Histogram("fireworks_restore_duration").ObserveDuration(restoreSpan)
+	f.env.Metrics.Histogram("fireworks_restore_duration").
+		ObserveDurationExemplar(restoreSpan, uint64(inv.Trace.TraceID()), inv.Clock.Now())
 
 	binding := &platform.NativeBinding{
 		Profile: f.profile,

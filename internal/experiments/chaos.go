@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/runtime"
 	"repro/internal/timeseries"
@@ -78,6 +79,9 @@ type chaosOutcome struct {
 	// can be resolved back to the trace that broke the SLO.
 	alerts  []timeseries.Alert
 	journal *events.Journal
+	// reg keeps the storm's metrics registry alive so the insight
+	// experiment can walk histogram exemplars back into the journal.
+	reg *metrics.Registry
 }
 
 func (o *chaosOutcome) successRate() float64 {
@@ -164,6 +168,7 @@ func runChaosOnce(seed uint64, resilient bool) (*chaosOutcome, error) {
 	out.alerts = wd.Alerts()
 
 	reg := c.Metrics()
+	out.reg = reg
 	out.retries = reg.Counter("retries_total").Value()
 	out.failovers = reg.Counter("failovers_total").Value()
 	out.crashes = reg.Counter("cluster_node_crashes_total").Value()

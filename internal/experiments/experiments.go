@@ -80,6 +80,7 @@ func All() []Experiment {
 		{"scale", "Extension: cluster-wide consolidation capacity scaling", RunScale},
 		{"chaos", "Extension: deterministic fault injection with retry + failover policies", RunChaos},
 		{"wfchain", "Extension: workflow DAGs, triggers, and DLQ replay under the chaos storm", RunWfchain},
+		{"insight", "Extension: critical-path blame, service graph, and exemplars over the chaos journal", RunInsight},
 		{"memtl", "Extension: memory timeline with PSS conservation and sharing lineage (Fig-10 methodology)", RunMemTimeline},
 	}
 }

@@ -174,7 +174,7 @@ func (r *Retrier) DoWithDiscardTraced(clock *vclock.Clock, sc *events.Scope, lab
 		}
 		clock.Advance(backoff)
 		r.retries.Inc()
-		r.backoffH.ObserveDuration(backoff)
+		r.backoffH.ObserveDurationExemplar(backoff, uint64(sc.TraceID()), clock.Now())
 		sc.Instant("retry", label, clock.Now(),
 			events.A("attempt", strconv.Itoa(attempt+1)), events.A("backoff", backoff.String()))
 	}

@@ -1,0 +1,172 @@
+package insight
+
+import (
+	"io"
+	"sort"
+	"time"
+)
+
+// SiteDelta is one blame site's aggregate change between two reports:
+// the summed self time across every trace in each run and their
+// difference. Positive Delta means run B spent more time at the site.
+type SiteDelta struct {
+	Site    string        `json:"site"`
+	SelfA   time.Duration `json:"self_a_ns"`
+	SelfB   time.Duration `json:"self_b_ns"`
+	Delta   time.Duration `json:"delta_ns"`
+	CountA  int           `json:"count_a"`
+	CountB  int           `json:"count_b"`
+	FaultsA int           `json:"faults_a,omitempty"`
+	FaultsB int           `json:"faults_b,omitempty"`
+}
+
+// EdgeDelta is one service-graph edge's change between two reports.
+type EdgeDelta struct {
+	From     string        `json:"from"`
+	To       string        `json:"to"`
+	CountA   int           `json:"count_a"`
+	CountB   int           `json:"count_b"`
+	ErrorsA  int           `json:"errors_a"`
+	ErrorsB  int           `json:"errors_b"`
+	P99A     time.Duration `json:"p99_a_ns"`
+	P99B     time.Duration `json:"p99_b_ns"`
+	P99Delta time.Duration `json:"p99_delta_ns"`
+}
+
+// DiffReport attributes the difference between two runs to blame
+// sites and graph edges. Sites are ranked by absolute self-time delta
+// (largest first), edges by absolute p99 delta, so the top row answers
+// "what changed".
+type DiffReport struct {
+	TracesA int           `json:"traces_a"`
+	TracesB int           `json:"traces_b"`
+	TotalA  time.Duration `json:"total_a_ns"` // summed trace totals
+	TotalB  time.Duration `json:"total_b_ns"`
+	Delta   time.Duration `json:"delta_ns"`
+	Sites   []SiteDelta   `json:"sites"`
+	Edges   []EdgeDelta   `json:"edges"`
+}
+
+// Diff compares two reports (A = before/baseline, B = after/current).
+func Diff(a, b *Report) *DiffReport {
+	d := &DiffReport{TracesA: len(a.Traces), TracesB: len(b.Traces)}
+	type siteAgg struct {
+		self   time.Duration
+		count  int
+		faults int
+	}
+	sum := func(r *Report) (map[string]*siteAgg, time.Duration) {
+		m := map[string]*siteAgg{}
+		var total time.Duration
+		for _, t := range r.Traces {
+			total += t.Total
+			for _, bl := range t.Blame {
+				s := m[bl.Site]
+				if s == nil {
+					s = &siteAgg{}
+					m[bl.Site] = s
+				}
+				s.self += bl.Self
+				s.count += bl.Count
+				s.faults += bl.Faults
+			}
+		}
+		return m, total
+	}
+	sa, totalA := sum(a)
+	sb, totalB := sum(b)
+	d.TotalA, d.TotalB, d.Delta = totalA, totalB, totalB-totalA
+
+	siteSet := map[string]bool{}
+	for s := range sa {
+		siteSet[s] = true
+	}
+	for s := range sb {
+		siteSet[s] = true
+	}
+	sites := make([]string, 0, len(siteSet))
+	for s := range siteSet {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		va, vb := sa[site], sb[site]
+		if va == nil {
+			va = &siteAgg{}
+		}
+		if vb == nil {
+			vb = &siteAgg{}
+		}
+		d.Sites = append(d.Sites, SiteDelta{
+			Site: site, SelfA: va.self, SelfB: vb.self, Delta: vb.self - va.self,
+			CountA: va.count, CountB: vb.count,
+			FaultsA: va.faults, FaultsB: vb.faults,
+		})
+	}
+	sort.SliceStable(d.Sites, func(i, j int) bool {
+		di, dj := absDur(d.Sites[i].Delta), absDur(d.Sites[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		return d.Sites[i].Site < d.Sites[j].Site
+	})
+
+	type edgeKey struct{ from, to string }
+	ea := map[edgeKey]GraphEdge{}
+	for _, e := range a.Graph.Edges {
+		ea[edgeKey{e.From, e.To}] = e
+	}
+	eb := map[edgeKey]GraphEdge{}
+	for _, e := range b.Graph.Edges {
+		eb[edgeKey{e.From, e.To}] = e
+	}
+	keySet := map[edgeKey]bool{}
+	for k := range ea {
+		keySet[k] = true
+	}
+	for k := range eb {
+		keySet[k] = true
+	}
+	keys := make([]edgeKey, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		va, vb := ea[k], eb[k]
+		d.Edges = append(d.Edges, EdgeDelta{
+			From: k.from, To: k.to,
+			CountA: va.Count, CountB: vb.Count,
+			ErrorsA: va.Errors, ErrorsB: vb.Errors,
+			P99A: va.P99, P99B: vb.P99, P99Delta: vb.P99 - va.P99,
+		})
+	}
+	sort.SliceStable(d.Edges, func(i, j int) bool {
+		di, dj := absDur(d.Edges[i].P99Delta), absDur(d.Edges[j].P99Delta)
+		if di != dj {
+			return di > dj
+		}
+		if d.Edges[i].From != d.Edges[j].From {
+			return d.Edges[i].From < d.Edges[j].From
+		}
+		return d.Edges[i].To < d.Edges[j].To
+	})
+	return d
+}
+
+// WriteJSON renders the diff as indented JSON.
+func (d *DiffReport) WriteJSON(w io.Writer) error {
+	return newIndentEncoder(w).Encode(d)
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -69,19 +69,64 @@ func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// ExemplarSnapshot is one captured bucket exemplar: the trace that
+// most recently (on the virtual clock) observed into the bucket with
+// upper bound LE. Only populated buckets export a row. Exemplars are
+// JSON-only — the text format predates them and its byte-stable golden
+// dumps must not change.
+type ExemplarSnapshot struct {
+	UpperBound float64       `json:"le"`
+	Trace      uint64        `json:"trace"`
+	Value      float64       `json:"value"`
+	TS         time.Duration `json:"ts_ns"`
+}
+
+// MarshalJSON encodes +Inf as null, mirroring BucketSnapshot.
+func (e ExemplarSnapshot) MarshalJSON() ([]byte, error) {
+	le := "null"
+	if !math.IsInf(e.UpperBound, 1) {
+		le = jsonFloat(e.UpperBound)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"trace":%d,"value":%s,"ts_ns":%d}`,
+		le, e.Trace, jsonFloat(e.Value), int64(e.TS))), nil
+}
+
+// UnmarshalJSON decodes null back to +Inf.
+func (e *ExemplarSnapshot) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    *float64 `json:"le"`
+		Trace uint64   `json:"trace"`
+		Value float64  `json:"value"`
+		TS    int64    `json:"ts_ns"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.LE == nil {
+		e.UpperBound = math.Inf(1)
+	} else {
+		e.UpperBound = *raw.LE
+	}
+	e.Trace = raw.Trace
+	e.Value = raw.Value
+	e.TS = time.Duration(raw.TS)
+	return nil
+}
+
 // HistSnapshot is one exported histogram with pre-computed quantiles.
 type HistSnapshot struct {
-	Name    string           `json:"name"`
-	Unit    string           `json:"unit,omitempty"`
-	Count   uint64           `json:"count"`
-	Sum     float64          `json:"sum"`
-	Min     float64          `json:"min"`
-	Max     float64          `json:"max"`
-	P50     float64          `json:"p50"`
-	P90     float64          `json:"p90"`
-	P99     float64          `json:"p99"`
-	P999    float64          `json:"p999"`
-	Buckets []BucketSnapshot `json:"buckets"`
+	Name      string             `json:"name"`
+	Unit      string             `json:"unit,omitempty"`
+	Count     uint64             `json:"count"`
+	Sum       float64            `json:"sum"`
+	Min       float64            `json:"min"`
+	Max       float64            `json:"max"`
+	P50       float64            `json:"p50"`
+	P90       float64            `json:"p90"`
+	P99       float64            `json:"p99"`
+	P999      float64            `json:"p999"`
+	Buckets   []BucketSnapshot   `json:"buckets"`
+	Exemplars []ExemplarSnapshot `json:"exemplars,omitempty"`
 }
 
 // Snapshot captures the current state of every instrument. It is safe
@@ -152,6 +197,18 @@ func (h *Histogram) snapshot() HistSnapshot {
 			bound = h.bounds[i]
 		}
 		hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: bound, Count: cum})
+	}
+	for i, ex := range h.exemplars {
+		if ex.Trace == 0 {
+			continue
+		}
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		hs.Exemplars = append(hs.Exemplars, ExemplarSnapshot{
+			UpperBound: bound, Trace: ex.Trace, Value: ex.Value, TS: ex.TS,
+		})
 	}
 	return hs
 }

@@ -419,6 +419,16 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// Exemplar ties one bucket of a histogram to a concrete trace: the
+// most recent (on the virtual clock) observation that landed in the
+// bucket while a trace was in scope. Exports surface it so a p99 in a
+// dump links to a journal trace instead of an anonymous number.
+type Exemplar struct {
+	Trace uint64        // events.TraceID of the observing request
+	Value float64       // the observed value
+	TS    time.Duration // virtual time of the observation
+}
+
 // Histogram accumulates observations into fixed buckets and keeps a
 // bounded window of raw samples for exact percentiles. Safe for
 // concurrent use; no-ops on a nil receiver.
@@ -427,14 +437,15 @@ type Histogram struct {
 	unit   string
 	bounds []float64 // ascending upper bounds; +Inf implicit last
 
-	mu      sync.Mutex
-	counts  []uint64 // len(bounds)+1
-	count   uint64
-	sum     float64
-	min     float64
-	max     float64
-	samples []float64 // ring of the most recent maxSamples observations
-	next    int       // ring cursor
+	mu        sync.Mutex
+	counts    []uint64 // len(bounds)+1
+	count     uint64
+	sum       float64
+	min       float64
+	max       float64
+	samples   []float64  // ring of the most recent maxSamples observations
+	next      int        // ring cursor
+	exemplars []Exemplar // lazily allocated, len(bounds)+1; zero Trace = empty slot
 }
 
 // Observe records one value.
@@ -444,6 +455,11 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.observeLocked(v)
+}
+
+// observeLocked records v and returns the bucket index it landed in.
+func (h *Histogram) observeLocked(v float64) int {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i]++
 	if h.count == 0 || v < h.min {
@@ -460,10 +476,56 @@ func (h *Histogram) Observe(v float64) {
 		h.samples[h.next] = v
 		h.next = (h.next + 1) % maxSamples
 	}
+	return i
+}
+
+// ObserveExemplar records one value and, when trace is nonzero,
+// captures it as the bucket's exemplar. Capture is last-writer-wins on
+// the virtual clock (ties go to the later call), so same-seed runs pin
+// identical exemplars regardless of goroutine interleaving at equal
+// virtual times only when their arrival order is itself deterministic —
+// which the simulator's sequential per-trace pipelines guarantee.
+func (h *Histogram) ObserveExemplar(v float64, trace uint64, ts time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := h.observeLocked(v)
+	if trace == 0 {
+		return
+	}
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.bounds)+1)
+	}
+	if ex := &h.exemplars[i]; ex.Trace == 0 || ts >= ex.TS {
+		*ex = Exemplar{Trace: trace, Value: v, TS: ts}
+	}
 }
 
 // ObserveDuration records a virtual-time duration.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
+
+// ObserveDurationExemplar records a virtual-time duration with an
+// exemplar trace (see ObserveExemplar).
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, trace uint64, ts time.Duration) {
+	h.ObserveExemplar(float64(d), trace, ts)
+}
+
+// Exemplars returns a copy of the per-bucket exemplar slots
+// (len(bounds)+1; a zero Trace marks an empty slot). Nil when no
+// exemplar was ever captured.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	return append([]Exemplar(nil), h.exemplars...)
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {

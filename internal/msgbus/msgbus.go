@@ -336,17 +336,19 @@ func (b *Broker) produceBatch(topicName string, recs []BatchRecord, at time.Dura
 // repeated ConsumeAt calls. It returns ErrBadOffset when offset is past
 // the log end (offset == len is an empty, error-free read).
 func (b *Broker) ConsumeFrom(topicName string, partitionID int, offset int64, max int) ([]Message, error) {
-	return b.consumeFrom(topicName, partitionID, offset, max, 0, false)
+	return b.consumeFrom(topicName, partitionID, offset, max, 0, false, nil)
 }
 
 // ConsumeFromAt is ConsumeFrom with the consumer's virtual-clock
 // position: queue dwell is recorded once per stamped record, exactly as
 // repeated single consumes would.
 func (b *Broker) ConsumeFromAt(topicName string, partitionID int, offset int64, max int, at time.Duration) ([]Message, error) {
-	return b.consumeFrom(topicName, partitionID, offset, max, at, true)
+	return b.consumeFrom(topicName, partitionID, offset, max, at, true, nil)
 }
 
-func (b *Broker) consumeFrom(topicName string, partitionID int, offset int64, max int, at time.Duration, clocked bool) ([]Message, error) {
+// consumeFrom is the shared batch-read path. When sc is non-nil, dwell
+// observations carry the scope's trace as their exemplar.
+func (b *Broker) consumeFrom(topicName string, partitionID int, offset int64, max int, at time.Duration, clocked bool, sc *events.Scope) ([]Message, error) {
 	t, err := b.topic(topicName)
 	if err != nil {
 		return nil, err
@@ -368,7 +370,7 @@ func (b *Broker) consumeFrom(topicName string, partitionID int, offset int64, ma
 	if clocked {
 		for _, m := range out {
 			if m.stamped && at >= m.ProducedAt {
-				b.dwell.ObserveDuration(at - m.ProducedAt)
+				b.dwell.ObserveDurationExemplar(at-m.ProducedAt, uint64(sc.TraceID()), at)
 			}
 		}
 	}
@@ -387,7 +389,7 @@ func (b *Broker) ConsumeFromTracedAt(topicName string, partitionID int, offset i
 	if err := b.faults.InjectTraced(faults.SiteBusConsume, nil, sc, at); err != nil {
 		return nil, fmt.Errorf("msgbus: consume from %q: %w", topicName, err)
 	}
-	msgs, err := b.consumeFrom(topicName, partitionID, offset, max, at, true)
+	msgs, err := b.consumeFrom(topicName, partitionID, offset, max, at, true, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -459,7 +461,7 @@ func (b *Broker) ConsumeLatestTracedAt(topicName string, at time.Duration, sc *e
 		return msg, err
 	}
 	if msg.stamped && at >= msg.ProducedAt {
-		b.dwell.ObserveDuration(at - msg.ProducedAt)
+		b.dwell.ObserveDurationExemplar(at-msg.ProducedAt, uint64(sc.TraceID()), at)
 	}
 	sc.InstantLinked("msgbus", "consume", at, msg.Produced,
 		events.A("topic", topicName), events.A("offset", strconv.FormatInt(msg.Offset, 10)))

@@ -320,14 +320,15 @@ func observeInvocation(reg *metrics.Registry, platformName string, inv *Invocati
 	}
 	reg.Counter(metrics.Name("invoke_total", "platform", platformName)).Inc()
 	reg.Counter(metrics.Name("invoke_mode_total", "mode", inv.Mode.String(), "platform", platformName)).Inc()
+	tr, now := uint64(inv.Trace.TraceID()), inv.Clock.Now()
 	reg.Histogram(metrics.Name("invoke_phase_duration", "phase", string(trace.PhaseStartup), "platform", platformName)).
-		ObserveDuration(inv.Breakdown.Startup())
+		ObserveDurationExemplar(inv.Breakdown.Startup(), tr, now)
 	reg.Histogram(metrics.Name("invoke_phase_duration", "phase", string(trace.PhaseExec), "platform", platformName)).
-		ObserveDuration(inv.Breakdown.Exec())
+		ObserveDurationExemplar(inv.Breakdown.Exec(), tr, now)
 	reg.Histogram(metrics.Name("invoke_phase_duration", "phase", string(trace.PhaseOthers), "platform", platformName)).
-		ObserveDuration(inv.Breakdown.Others())
+		ObserveDurationExemplar(inv.Breakdown.Others(), tr, now)
 	reg.Histogram(metrics.Name("invoke_latency", "platform", platformName)).
-		ObserveDuration(inv.Breakdown.Total())
+		ObserveDurationExemplar(inv.Breakdown.Total(), tr, now)
 }
 
 // ObserveInvocation is observeInvocation for platform implementations

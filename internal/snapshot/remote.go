@@ -137,7 +137,7 @@ func (r *Remote) UploadTraced(name string, snap *vmm.Snapshot, clock *vclock.Clo
 	r.objects[name] = snap
 	r.uploads++
 	r.uploadCtr.Inc()
-	r.xferBytes.Observe(float64(moved))
+	r.xferBytes.ObserveExemplar(float64(moved), uint64(sc.TraceID()), clock.Now())
 	r.objectsGauge.Set(int64(len(r.objects)))
 	r.mu.Unlock()
 	sc.Instant("snapshot", "remote-upload", clock.Now(),
@@ -182,8 +182,8 @@ func (r *Remote) FetchTraced(name string, local *Store, clock *vclock.Clock, sc 
 	clock.Advance(cost)
 	r.mu.Lock()
 	r.chunksFetch.Add(int64(len(missing)))
-	r.xferBytes.Observe(float64(moved))
-	r.deltaBytes.Observe(float64(moved))
+	r.xferBytes.ObserveExemplar(float64(moved), uint64(sc.TraceID()), clock.Now())
+	r.deltaBytes.ObserveExemplar(float64(moved), uint64(sc.TraceID()), clock.Now())
 	r.mu.Unlock()
 	sc.Instant("snapshot", "remote-fetch", clock.Now(),
 		events.A("image", name),

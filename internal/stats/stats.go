@@ -73,7 +73,9 @@ func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	if p < 0 {
+	// NaN fails both range checks below and would flow into the array
+	// index; clamp it with the other out-of-range inputs.
+	if math.IsNaN(p) || p < 0 {
 		p = 0
 	}
 	if p > 100 {

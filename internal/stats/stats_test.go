@@ -166,3 +166,10 @@ func TestFormatBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestPercentileNaNClampsToMin(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Percentile(xs, math.NaN()); got != 1 {
+		t.Errorf("Percentile(xs, NaN) = %v, want 1 (the min, like p<0)", got)
+	}
+}

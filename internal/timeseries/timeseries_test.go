@@ -1,6 +1,7 @@
 package timeseries
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -183,5 +184,51 @@ func TestJSONExportParsesAndMatchesFormat(t *testing.T) {
 	}
 	if err := s.WriteFormat(&sb, "yaml"); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestSeriesQuantileEdgeCases(t *testing.T) {
+	// Empty series: no quantile, ok=false, value stays zero.
+	empty := newSeries("empty", 4)
+	if v, ok := empty.Quantile(-1, 99); ok || v != 0 {
+		t.Errorf("empty series quantile = %v, %v; want 0, false", v, ok)
+	}
+
+	s := newSeries("lat", 8)
+	s.append(ms(10), 100)
+	s.append(ms(20), 200)
+	s.append(ms(30), 300)
+
+	// Window entirely after the last sample: empty window, ok=false.
+	if v, ok := s.Quantile(ms(30), 99); ok || v != 0 {
+		t.Errorf("post-window quantile = %v, %v; want 0, false", v, ok)
+	}
+
+	// Single sample in the window: every quantile is that sample.
+	for _, p := range []float64{0, 50, 99, 100} {
+		if v, ok := s.Quantile(ms(20), p); !ok || v != 300 {
+			t.Errorf("single-sample p%v = %v, %v; want 300, true", p, v, ok)
+		}
+	}
+
+	// Window opening entirely before the first sample (including a
+	// negative from) covers the whole series.
+	for _, from := range []time.Duration{-1, 0, ms(5)} {
+		if v, ok := s.Quantile(from, 50); !ok || v != 200 {
+			t.Errorf("full-window (from=%v) p50 = %v, %v; want 200, true", from, v, ok)
+		}
+	}
+
+	// Out-of-range and NaN percentiles clamp instead of panicking:
+	// NaN used to fail both range guards and index the sorted slice
+	// with a garbage rank.
+	if v, ok := s.Quantile(-1, math.NaN()); !ok || v != 100 {
+		t.Errorf("NaN percentile = %v, %v; want min (100), true", v, ok)
+	}
+	if v, ok := s.Quantile(-1, -5); !ok || v != 100 {
+		t.Errorf("p(-5) = %v, %v; want min (100), true", v, ok)
+	}
+	if v, ok := s.Quantile(-1, 250); !ok || v != 300 {
+		t.Errorf("p250 = %v, %v; want max (300), true", v, ok)
 	}
 }

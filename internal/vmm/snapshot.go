@@ -222,6 +222,12 @@ func (s *Snapshot) Lineage() []mem.RegionLineage {
 // keeps running (Firecracker pauses and resumes it around serialization,
 // which is inside the charged cost).
 func (h *Hypervisor) TakeSnapshot(v *MicroVM, kind SnapshotKind, specs []RegionSpec, workingSet uint64, guestState any, clock *vclock.Clock) (*Snapshot, error) {
+	return h.TakeSnapshotTraced(v, kind, specs, workingSet, guestState, clock, nil)
+}
+
+// TakeSnapshotTraced is TakeSnapshot under an event scope: the capture
+// cost histogram carries the scope's trace as its exemplar.
+func (h *Hypervisor) TakeSnapshotTraced(v *MicroVM, kind SnapshotKind, specs []RegionSpec, workingSet uint64, guestState any, clock *vclock.Clock, sc *events.Scope) (*Snapshot, error) {
 	if v.state != StateRunning && v.state != StatePaused {
 		return nil, fmt.Errorf("%w: snapshot in %s", ErrBadState, v.state)
 	}
@@ -238,7 +244,7 @@ func (h *Hypervisor) TakeSnapshot(v *MicroVM, kind SnapshotKind, specs []RegionS
 	captureCost := CostSnapshotBase + time.Duration(total)*CostSnapshotPerByte
 	clock.Advance(captureCost)
 	h.snapshots.Inc()
-	h.snapshotDur.ObserveDuration(captureCost)
+	h.snapshotDur.ObserveDurationExemplar(captureCost, uint64(sc.TraceID()), clock.Now())
 
 	snap := &Snapshot{
 		ID:                      "snap-" + v.ID,
@@ -309,7 +315,7 @@ func (h *Hypervisor) RestoreTraced(snap *Snapshot, opts RestoreOptions, clock *v
 	restoreCost := CostRestoreBase + time.Duration(pages)*perPage
 	clock.Advance(restoreCost)
 	h.restores.Inc()
-	h.restoreDur.ObserveDuration(restoreCost)
+	h.restoreDur.ObserveDurationExemplar(restoreCost, uint64(sc.TraceID()), clock.Now())
 
 	v := &MicroVM{
 		ID:           id,

@@ -203,7 +203,7 @@ func (v *MicroVM) BootKernelTraced(clock *vclock.Clock, sc *events.Scope) error 
 	}
 	clock.Advance(CostKernelBoot)
 	v.hv.boots.Inc()
-	v.hv.bootDur.ObserveDuration(CostKernelBoot)
+	v.hv.bootDur.ObserveDurationExemplar(CostKernelBoot, uint64(sc.TraceID()), clock.Now())
 	v.space.AllocPrivate(mem.KindKernel, mem.PagesFor(CostKernelBytes))
 	v.booted = true
 	v.state = StateRunning

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -533,17 +534,37 @@ func (e *Engine) finalize(wf *registered, run *Run) {
 		return
 	}
 	status := RunCompleted
+	var completed, skipped, dead, pending int
 	for _, id := range wf.order {
 		switch run.steps[id].Status {
-		case StepCompleted, StepSkipped:
+		case StepCompleted:
+			completed++
+		case StepSkipped:
+			skipped++
+		case StepDead:
+			dead++
+			status = RunStalled
 		default:
+			pending++
 			status = RunStalled
 		}
 	}
 	run.Status = status
 	run.done = true
 	now := run.Invocation.Clock.Now()
-	e.runDuration.ObserveDuration(run.Invocation.Total())
+	e.runDuration.ObserveDurationExemplar(run.Invocation.Total(),
+		uint64(run.sc.TraceID()), now)
+	// The terminal workflow:done event carries the per-run step tally,
+	// so a DAG critical path closes on one event instead of scanning
+	// for the last step.
+	run.sc.Instant("workflow", "done", now,
+		events.A("run", run.ID),
+		events.A("status", status),
+		events.A("steps_total", strconv.Itoa(len(wf.order))),
+		events.A("steps_completed", strconv.Itoa(completed)),
+		events.A("steps_skipped", strconv.Itoa(skipped)),
+		events.A("steps_dead", strconv.Itoa(dead)),
+		events.A("steps_pending", strconv.Itoa(pending)))
 	run.sc.Close(now, events.A("status", status))
 }
 

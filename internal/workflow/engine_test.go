@@ -556,3 +556,65 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("unknown function did not dead-letter")
 	}
 }
+
+func TestDoneEventCarriesStepCounts(t *testing.T) {
+	h := newHarness(t, workflow.Options{})
+	h.inv.handle("head", func(in map[string]any) (any, error) {
+		return map[string]any{"go": "no"}, nil
+	})
+	h.inv.handle("gated", func(in map[string]any) (any, error) { return "ran", nil })
+	spec := &workflow.Spec{Name: "counted", Steps: []workflow.Step{
+		{ID: "head", Function: "head"},
+		{ID: "gated", Function: "gated", After: []string{"head"},
+			When: &workflow.Condition{Step: "head", Key: "go", Equals: "yes"}},
+	}}
+	if err := h.eng.Register(spec); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	run, err := h.eng.Run("counted", nil, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// The run's trace must end with a terminal workflow:done instant
+	// carrying the per-run step counts, so consumers (the insight
+	// engine, DAG dashboards) can close the run without scanning for
+	// the last step event.
+	var done *events.Event
+	for _, ev := range h.journal.Trace(run.TraceID()) {
+		if ev.Kind == events.KindInstant && ev.Component == "workflow" && ev.Name == "done" {
+			ev := ev
+			done = &ev
+		}
+	}
+	if done == nil {
+		t.Fatal("no workflow:done instant in the run trace")
+	}
+	attrs := map[string]string{}
+	for _, a := range done.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	want := map[string]string{
+		"status":          string(workflow.RunCompleted),
+		"steps_total":     "2",
+		"steps_completed": "1",
+		"steps_skipped":   "1",
+		"steps_dead":      "0",
+		"steps_pending":   "0",
+	}
+	for k, v := range want {
+		if attrs[k] != v {
+			t.Errorf("done attr %s = %q, want %q (attrs: %v)", k, attrs[k], v, attrs)
+		}
+	}
+	if attrs["run"] != run.ID {
+		t.Errorf("done attr run = %q, want %q", attrs["run"], run.ID)
+	}
+	// It must be the trace's final event.
+	trace := h.journal.Trace(run.TraceID())
+	last := trace[len(trace)-1]
+	if !(last.Kind == events.KindInstant && last.Name == "done") &&
+		!(last.Kind == events.KindEnd) {
+		t.Errorf("trace ends with %v %s:%s, want the done instant (or the root close)", last.Kind, last.Component, last.Name)
+	}
+}
