@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race trace-demo mem-demo insight-demo bench-gate bench-baseline
+.PHONY: check vet build test race trace-demo mem-demo insight-demo telem-demo bench-gate bench-baseline
 
 # check is the tier-1 gate: everything must pass before a merge.
 check: vet build test race
@@ -20,9 +20,10 @@ test:
 # bus, the host memory accountant, the chunked snapshot store, and the
 # telemetry sampler/watchdog — additionally run under the race
 # detector, as does the insight engine (it reads journals and metrics
-# registries that other goroutines still write).
+# registries that other goroutines still write) and the tail sampler
+# (it observes journal appends and drops traces concurrently).
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/... ./internal/events/... ./internal/msgbus/... ./internal/mem/... ./internal/snapshot/... ./internal/timeseries/... ./internal/workflow/... ./internal/insight/...
+	$(GO) test -race ./internal/cluster/... ./internal/metrics/... ./internal/core/... ./internal/lifecycle/... ./internal/faults/... ./internal/events/... ./internal/msgbus/... ./internal/mem/... ./internal/snapshot/... ./internal/timeseries/... ./internal/workflow/... ./internal/insight/... ./internal/telemetry/...
 
 # trace-demo runs a faulted fwsim demo, dumps its event journal as
 # Chrome trace-event JSON, and sanity-checks that the dump parses and
@@ -56,6 +57,20 @@ insight-demo:
 	grep -q 'digraph insight' insight-demo-artifacts/insight-servicegraph.dot
 	test -s insight-demo-artifacts/insight-report.json
 	rm -f insight-demo.log
+
+# telem-demo runs the tail-sampling experiment — the exposed chaos
+# storm with the telemetry governor armed — writes the sampled NDJSON
+# journal and coverage-annotated insight report, and fails on any WARN
+# shape check (>=5x byte reduction, 100% error/fault/DLQ retention,
+# layout-invariant and same-seed byte-identical exports).
+telem-demo:
+	mkdir -p telem-demo-artifacts
+	$(GO) run ./cmd/fwbench -run telem -artifacts telem-demo-artifacts > telem-demo.log || { cat telem-demo.log; rm -f telem-demo.log; exit 1; }
+	cat telem-demo.log
+	! grep -q '\[WARN' telem-demo.log
+	test -s telem-demo-artifacts/telem-sampled.ndjson
+	test -s telem-demo-artifacts/telem-insight.json
+	rm -f telem-demo.log
 
 # mem-demo runs the memory-timeline experiment (Fig-10 methodology on a
 # scaled host), writes its CSV artifacts, and sanity-checks them with

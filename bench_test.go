@@ -14,6 +14,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/msgbus"
 	"repro/internal/platform"
 	"repro/internal/runtime"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 	"repro/internal/vmm"
 	"repro/internal/workflow"
@@ -854,4 +856,62 @@ func BenchmarkCriticalPath(b *testing.B) {
 	if traces != 530 {
 		b.Fatalf("analyzed %d traces, want 530", traces)
 	}
+}
+
+// benchStormJournal replays a deterministic storm of 256 small traces
+// into j: one root scope and one child span each, an error attr on
+// every 37th trace, identical per-trace latencies so the tail
+// sampler's latency-outlier policy stays quiet and only the error and
+// probabilistic policies decide keeps.
+func benchStormJournal(j *events.Journal) {
+	var ts time.Duration
+	for i := 0; i < 256; i++ {
+		sc := j.NewScope("gateway", "invoke", ts, events.A("fn", "bench"))
+		sc.SetNode(fmt.Sprintf("node-%d", i%4))
+		sc.Begin("core", "execute", ts)
+		ts += 120 * time.Microsecond
+		if i%37 == 0 {
+			sc.Instant("core", "result", ts, events.A("error", "boom"))
+		}
+		sc.End(ts)
+		sc.Close(ts)
+		ts += 10 * time.Microsecond
+	}
+}
+
+// BenchmarkTailSampling exports the storm journal as NDJSON with and
+// without the tail sampler armed, reporting the export size as
+// vbytes/op. benchgate derives tail_sampling_reduction = full/sampled
+// and enforces the >=5x byte-reduction claim of the telem experiment
+// at microbenchmark granularity.
+func BenchmarkTailSampling(b *testing.B) {
+	run := func(b *testing.B, armed bool) {
+		var exported int
+		for i := 0; i < b.N; i++ {
+			j := events.NewJournal(1 << 15)
+			var tail *telemetry.TailSampler
+			if armed {
+				tail = telemetry.New(telemetry.Config{Seed: 1, KeepRate: 0.05})
+				tail.Attach(j, metrics.NewRegistry())
+			}
+			benchStormJournal(j)
+			if tail != nil {
+				tail.FlushAll()
+				if st := tail.Stats(); st.DecidedTraces != 256 {
+					b.Fatalf("decided %d traces, want 256", st.DecidedTraces)
+				}
+			}
+			var buf bytes.Buffer
+			if err := events.WriteNDJSON(&buf, j.Events()); err != nil {
+				b.Fatal(err)
+			}
+			exported = buf.Len()
+		}
+		if exported == 0 {
+			b.Fatal("empty export")
+		}
+		b.ReportMetric(float64(exported), "vbytes/op")
+	}
+	b.Run("full", func(b *testing.B) { run(b, false) })
+	b.Run("sampled", func(b *testing.B) { run(b, true) })
 }

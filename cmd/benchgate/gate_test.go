@@ -31,6 +31,9 @@ func sampleReport() *Report {
 	// The workflow chain ratio is near-parity by design.
 	r.result("BenchmarkWorkflowChain/handwired").Custom = map[string]float64{"ns_virtual/op": 25e6}
 	r.result("BenchmarkWorkflowChain/declarative").Custom = map[string]float64{"ns_virtual/op": 24.8e6}
+	// Tail sampling shrinks the exported journal bytes >10x.
+	r.result("BenchmarkTailSampling/full").Custom = map[string]float64{"vbytes/op": 1.11e5}
+	r.result("BenchmarkTailSampling/sampled").Custom = map[string]float64{"vbytes/op": 9.2e3}
 	derive(r)
 	return r
 }
@@ -103,6 +106,19 @@ func TestCompareFailsOnSyntheticRegression(t *testing.T) {
 		vs := compare(base, fresh, defaultTolerances())
 		if !hasViolation(vs, "prefetch_replay_speedup", "want >=") {
 			t.Fatalf("collapsed prefetch speedup not caught: %v", vs)
+		}
+	})
+
+	t.Run("tail_sampling_collapse", func(t *testing.T) {
+		// A sampler that stops dropping traces exports as many bytes
+		// as the unsampled arm.
+		fresh := sampleReport()
+		fresh.result("BenchmarkTailSampling/sampled").Custom["vbytes/op"] =
+			fresh.result("BenchmarkTailSampling/full").Custom["vbytes/op"]
+		derive(fresh)
+		vs := compare(base, fresh, defaultTolerances())
+		if !hasViolation(vs, "tail_sampling_reduction", "want >=") {
+			t.Fatalf("collapsed tail-sampling reduction not caught: %v", vs)
 		}
 	})
 

@@ -76,6 +76,12 @@ var manifest = []BenchEntry{
 	// Insight engine: gated — critical-path analysis over a 10k-event
 	// journal must stay cheap enough to run inside request handlers.
 	{Name: "BenchmarkCriticalPath", Gate: true},
+
+	// Telemetry plane: gated, including the derived full-vs-sampled
+	// NDJSON byte ratio — the tail sampler must keep delivering the
+	// >=5x journal reduction the telem experiment claims.
+	{Name: "BenchmarkTailSampling/full", Gate: true},
+	{Name: "BenchmarkTailSampling/sampled", Gate: true},
 }
 
 // gatedPattern returns the -bench regexp selecting the gated set (or

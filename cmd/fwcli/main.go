@@ -24,12 +24,21 @@
 // -insight analyzes the run's event journal after the last invocation
 // and prints each trace's critical-path blame table plus the service
 // graph (see docs/insight.md).
+//
+// -telem arms tail-based trace sampling on the run's journal
+// (docs/telemetry.md): boring traces are dropped at the given keep
+// rate, errors and latency outliers always survive, and the run ends
+// with the keep/drop ledger. -trace-dump and -insight then see the
+// sampled journal:
+//
+//	fwcli -builtin faas-fact-python -repeat 20 -telem seed=1,rate=0.1 -insight
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -37,6 +46,7 @@ import (
 	"repro/internal/insight"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
+	"repro/internal/telemetry"
 	"repro/internal/timeseries"
 	"repro/internal/vclock"
 	"repro/internal/workloads"
@@ -59,6 +69,7 @@ func main() {
 	watch := flag.Bool("watch", false, "print a memory-telemetry line per invocation and the smem-style memory report after the run")
 	tsDump := flag.String("timeseries-dump", "", "write the run's sampled telemetry series to this file as CSV")
 	insightFlag := flag.Bool("insight", false, "print the run's critical-path blame tables and service graph after the last invocation")
+	telemSpec := flag.String("telem", "", `arm tail-based trace sampling on the run's journal: "seed=N,rate=P" (docs/telemetry.md); dumps and -insight see the sampled journal and the run ends with the keep/drop ledger`)
 	flag.Parse()
 
 	if *listBuiltins {
@@ -74,6 +85,10 @@ func main() {
 	}
 	env := platform.NewEnv(platform.EnvConfig{})
 	p, err := resolvePlatform(*platformName, env)
+	if err != nil {
+		fatal(err)
+	}
+	tail, err := armTelemetry(*telemSpec, env)
 	if err != nil {
 		fatal(err)
 	}
@@ -144,6 +159,12 @@ func main() {
 			}
 		}
 	}
+	// Drain the tail sampler before anything reads the journal, so the
+	// dumps, the profile, and -insight all see the sampled view.
+	if tail != nil {
+		tail.FlushAll()
+		printTelemetry(tail.Stats())
+	}
 	if *watch {
 		fmt.Println()
 		env.Mem.Report().WriteText(os.Stdout)
@@ -169,15 +190,74 @@ func main() {
 		}
 	}
 	if *insightFlag {
-		printInsight(env.Events.Events())
+		printInsight(env.Events.Events(), tail)
+	}
+}
+
+// armTelemetry parses the -telem spec ("seed=N,rate=P", both keys
+// optional) and attaches a tail sampler to the run's journal. An empty
+// spec leaves sampling off.
+func armTelemetry(spec string, env *platform.Env) (*telemetry.TailSampler, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	cfg := telemetry.Config{Seed: 1, KeepRate: 0.1}
+	for _, field := range strings.Split(spec, ",") {
+		key, value, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("-telem field %q is not key=value", field)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-telem seed: %w", err)
+			}
+			cfg.Seed = n
+		case "rate":
+			r, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-telem rate: %w", err)
+			}
+			if r < 0 || r > 1 {
+				return nil, fmt.Errorf("-telem rate %v out of [0,1]", r)
+			}
+			cfg.KeepRate = r
+			if r == 0 {
+				cfg.KeepRate = -1 // explicit 0 = keep no boring traces
+			}
+		default:
+			return nil, fmt.Errorf("-telem has no key %q (want seed, rate)", key)
+		}
+	}
+	tail := telemetry.New(cfg)
+	tail.Attach(env.Events, env.Metrics)
+	return tail, nil
+}
+
+// printTelemetry renders the tail sampler's keep/drop ledger.
+func printTelemetry(st telemetry.Stats) {
+	fmt.Printf("\ntelemetry: kept %d/%d traces, dropped %d events (%d bytes)\n",
+		st.KeptTraces, st.DecidedTraces, st.DroppedEvents, st.DroppedBytes)
+	for _, p := range st.Policies {
+		fmt.Printf("   %-14s kept=%-4d dropped=%d\n", p.Policy, p.Kept, p.Dropped)
 	}
 }
 
 // printInsight analyzes the run's journal and prints each trace's
-// blame table plus the service graph in DOT.
-func printInsight(evs []events.Event) {
+// blame table plus the service graph in DOT. With tail sampling armed
+// the journal is partial; the header says by how much.
+func printInsight(evs []events.Event, tail *telemetry.TailSampler) {
 	rep := insight.Analyze(evs)
+	if tail != nil {
+		st := tail.Stats()
+		rep.AnnotateCoverage(int(st.KeptTraces), int(st.DecidedTraces))
+	}
 	fmt.Printf("\ninsight: %d events, %d traces\n", rep.EventCount, rep.TraceCount)
+	if rep.Coverage != nil {
+		fmt.Printf("coverage: %d/%d traces kept by tail sampling\n",
+			rep.Coverage.KeptTraces, rep.Coverage.TotalTraces)
+	}
 	for _, ti := range rep.Traces {
 		fmt.Printf("trace %d (%s) total=%v spans=%d", ti.Trace, ti.Root, ti.Total, ti.Spans)
 		if ti.Faults > 0 {

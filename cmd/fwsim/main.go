@@ -46,6 +46,11 @@
 //	curl -s 'localhost:8080/events?format=chrome' > trace.json  # open in Perfetto
 //	curl -s 'localhost:8080/events?format=ndjson&limit=100'
 //
+//	# live-stream the journal (NDJSON long-poll; resume from the
+//	# X-Next-Since header) and read the telemetry plane's own books
+//	curl -s 'localhost:8080/events/stream?since=0&wait_ms=1000'
+//	curl -s localhost:8080/telemetry
+//
 // With -metrics the gateway is skipped entirely: fwsim drives a demo
 // workload across a simulated cluster and dumps the fleet-wide metrics
 // snapshot (restore latencies, CoW faults, queue dwell, per-node
@@ -65,6 +70,15 @@
 //
 //	fwsim -metrics text -faults seed=7,rate=0.05
 //	fwsim -addr :8080 -faults seed=7,rate=0.01
+//
+// With -telem the telemetry governor is armed (docs/telemetry.md):
+// completed traces run through the tail-sampling policy chain (errors,
+// latency outliers, and DLQ runs always kept; the rest kept at the
+// given rate, seeded), the registry enforces a per-family cardinality
+// budget when card is set, and the timeseries sampler grows rollup
+// tiers. GET /telemetry reports the plane's own accounting.
+//
+//	fwsim -addr :8080 -telem seed=1,rate=0.05,card=64
 package main
 
 import (
@@ -91,6 +105,7 @@ import (
 	"repro/internal/msgbus"
 	"repro/internal/platform"
 	rt "repro/internal/runtime"
+	"repro/internal/telemetry"
 	"repro/internal/timeseries"
 	"repro/internal/vclock"
 	"repro/internal/workflow"
@@ -115,6 +130,12 @@ type server struct {
 	requests *metrics.Counter
 	failures *metrics.Counter
 
+	// tail is the tail-based trace sampler (nil unless -telem armed):
+	// it buffers per-trace state and, once a trace completes, either
+	// keeps it or physically drops it from the journal
+	// (docs/telemetry.md).
+	tail *telemetry.TailSampler
+
 	mu       sync.Mutex
 	installs map[string]*platform.InstallReport
 }
@@ -129,8 +150,11 @@ type installRequest struct {
 
 // newServer builds a gateway over a fresh cluster. With chaos non-nil
 // the fault plane arms immediately (the gateway is long-lived) and the
-// platform runs with its default retry and failover policies.
-func newServer(nodes int, chaos *faultsConfig) *server {
+// platform runs with its default retry and failover policies. With
+// telem non-nil the telemetry governor arms: tail-based trace sampling
+// over the journal, a cardinality budget on the registry, and rollup
+// tiers on the sampler.
+func newServer(nodes int, chaos *faultsConfig, telem *telemConfig) *server {
 	envCfg := platform.EnvConfig{}
 	opts := core.Options{}
 	if chaos != nil {
@@ -160,6 +184,16 @@ func newServer(nodes int, chaos *faultsConfig) *server {
 	}
 	s.wf = workflow.New(wfBus, c.Journal(), c.Metrics(), clusterInvoker{c}, wfOpts)
 	s.sampler = timeseries.NewSampler(c.Metrics(), timeseries.DefaultCapacity)
+	if telem != nil {
+		// Arm the plane before the first event: the eviction guard and
+		// observer must see every trace from its first span.
+		s.tail = telemetry.New(telemetry.Config{Seed: telem.seed, KeepRate: telem.keepRate()})
+		s.tail.Attach(c.Journal(), c.Metrics())
+		if telem.card > 0 {
+			c.Metrics().SetCardinalityLimit(telem.card)
+		}
+		s.sampler.SetRollups(timeseries.DefaultRollups())
+	}
 	s.sampler.AddProbe("fleet_down_nodes", func() float64 {
 		return float64(platform.DeriveFleetHealth(c.Metrics().Snapshot()).Down)
 	})
@@ -236,6 +270,10 @@ func (s *server) observe(latency time.Duration, failed bool) {
 	now := s.timeline.Advance(latency)
 	s.sampler.Sample(now)
 	s.watchdog.Evaluate(now)
+	// Decide traces that stalled without closing their root span; the
+	// watchdog ran first so a just-fired alert still promotes its
+	// evidence trace.
+	s.tail.Flush(now)
 }
 
 func main() {
@@ -244,11 +282,16 @@ func main() {
 	nodes := flag.Int("nodes", 3, "cluster size (gateway and -metrics demo)")
 	invocations := flag.Int("invocations", 12, "invocations to run in the -metrics demo")
 	faultsSpec := flag.String("faults", "", `arm deterministic fault injection: "seed=N,rate=P" (rate is per-operation probability, e.g. 0.01)`)
+	telemSpec := flag.String("telem", "", `arm the telemetry governor: "seed=N,rate=P[,card=K]" (rate is the probabilistic keep fraction for boring traces, card a per-family label-value budget)`)
 	traceDump := flag.String("trace-dump", "", `in -metrics demo mode, write the event journal to this file (Chrome trace-event JSON for *.json, NDJSON otherwise)`)
 	profile := flag.Bool("profile", false, "in -metrics demo mode, fold the event journal into virtual-time flame-stack lines on stderr")
 	flag.Parse()
 
 	chaos, err := parseFaultsSpec(*faultsSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	telem, err := parseTelemSpec(*telemSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -273,7 +316,10 @@ func main() {
 	if chaos != nil {
 		log.Printf("fault injection armed: seed=%d rate=%g", chaos.seed, chaos.rate)
 	}
-	s := newServer(*nodes, chaos)
+	if telem != nil {
+		log.Printf("telemetry governor armed: seed=%d rate=%g card=%d", telem.seed, telem.rate, telem.card)
+	}
+	s := newServer(*nodes, chaos, telem)
 	log.Printf("fwsim gateway on http://%s (%d nodes)", *addr, *nodes)
 	log.Fatal(http.ListenAndServe(*addr, s.mux()))
 }
@@ -319,6 +365,66 @@ func parseFaultsSpec(spec string) (*faultsConfig, error) {
 	return cfg, nil
 }
 
+// telemConfig is a parsed -telem flag.
+type telemConfig struct {
+	seed uint64
+	rate float64
+	// card, when positive, is the default per-family label-value budget
+	// the cardinality governor enforces on the registry.
+	card int
+}
+
+// keepRate maps the CLI rate to telemetry.Config semantics: an
+// explicit rate=0 means keep no boring traces (the Config encodes
+// that as negative; its zero value means "default").
+func (tc *telemConfig) keepRate() float64 {
+	if tc.rate == 0 {
+		return -1
+	}
+	return tc.rate
+}
+
+// parseTelemSpec parses "seed=N,rate=P[,card=K]" (every key optional,
+// any order). An empty spec leaves the governor off (nil config).
+func parseTelemSpec(spec string) (*telemConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	cfg := &telemConfig{seed: 1, rate: 0.1}
+	for _, field := range strings.Split(spec, ",") {
+		key, value, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("fwsim: -telem field %q is not key=value", field)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fwsim: -telem seed: %w", err)
+			}
+			cfg.seed = n
+		case "rate":
+			r, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fwsim: -telem rate: %w", err)
+			}
+			if r < 0 || r > 1 {
+				return nil, fmt.Errorf("fwsim: -telem rate %v out of [0,1]", r)
+			}
+			cfg.rate = r
+		case "card":
+			k, err := strconv.Atoi(value)
+			if err != nil || k < 0 {
+				return nil, fmt.Errorf("fwsim: -telem card %q (want a non-negative integer)", value)
+			}
+			cfg.card = k
+		default:
+			return nil, fmt.Errorf("fwsim: -telem has no key %q (want seed, rate, card)", key)
+		}
+	}
+	return cfg, nil
+}
+
 // mux registers the gateway's routes.
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -333,6 +439,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /alerts", s.handleAlerts)
 	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /events", s.handleEvents)
+	mux.HandleFunc("GET /events/stream", s.handleEventsStream)
+	mux.HandleFunc("GET /telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /insight/criticalpath/{trace}", s.handleInsightCriticalPath)
 	mux.HandleFunc("GET /insight/servicegraph", s.handleInsightServiceGraph)
 	mux.HandleFunc("GET /insight/slowest", s.handleInsightSlowest)
@@ -626,9 +734,15 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
 	format := "csv"
 	contentType := "text/csv; charset=utf-8"
-	if r.URL.Query().Get("format") == "json" {
+	switch r.URL.Query().Get("format") {
+	case "", "csv":
+	case "json":
 		format = "json"
 		contentType = "application/json"
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("timeseries: unknown format %q (want csv or json)", r.URL.Query().Get("format")))
+		return
 	}
 	w.Header().Set("Content-Type", contentType)
 	_ = s.sampler.WriteFormat(w, format)
@@ -679,13 +793,19 @@ func (s *server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	// Any format other than json renders text, so the endpoint never
-	// 500s on a stray query parameter.
+	// An unknown format is a client error, matching the /events limit
+	// validation — a typo must not silently fall back to text.
 	format := "text"
 	contentType := "text/plain; charset=utf-8"
-	if r.URL.Query().Get("format") == "json" {
+	switch r.URL.Query().Get("format") {
+	case "", "text":
+	case "json":
 		format = "json"
 		contentType = "application/json"
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("metrics: unknown format %q (want text or json)", r.URL.Query().Get("format")))
+		return
 	}
 	w.Header().Set("Content-Type", contentType)
 	_ = s.c.Metrics().WriteFormat(w, format)
@@ -718,6 +838,95 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		evs = s.c.Journal().Tail(limit)
 	}
 	s.writeEvents(w, r, evs)
+}
+
+// handleEventsStream long-polls the journal as NDJSON: events with
+// Seq > since (?since=N, default 0 = everything) are written one JSON
+// object per line, and the X-Next-Since header carries the highest Seq
+// served so the client can resume exactly where it left off. With
+// ?wait_ms=N the request blocks up to that long for new events before
+// returning an empty body. The stream is post-sampling by
+// construction: the tail sampler physically drops non-kept traces from
+// the journal, so they never reach a streaming client.
+func (s *server) handleEventsStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since uint64
+	if str := q.Get("since"); str != "" {
+		v, err := strconv.ParseUint(str, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("stream: bad since %q (want a sequence number)", str))
+			return
+		}
+		since = v
+	}
+	wait := time.Duration(0)
+	if str := q.Get("wait_ms"); str != "" {
+		ms, err := strconv.Atoi(str)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("stream: bad wait_ms %q (want a non-negative integer)", str))
+			return
+		}
+		const maxWait = 30 * time.Second
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxWait {
+			wait = maxWait
+		}
+	}
+	deadline := time.Now().Add(wait)
+	var fresh []events.Event
+	for {
+		fresh = fresh[:0]
+		for _, e := range s.c.Journal().Events() {
+			if e.Seq > since {
+				fresh = append(fresh, e)
+			}
+		}
+		if len(fresh) > 0 || !time.Now().Before(deadline) {
+			break
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	next := since
+	if len(fresh) > 0 {
+		next = fresh[len(fresh)-1].Seq
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Next-Since", strconv.FormatUint(next, 10))
+	_ = events.WriteNDJSON(w, fresh)
+}
+
+// handleTelemetry serves the telemetry plane's self-accounting: the
+// tail sampler's keep/drop ledger (null when -telem is off), the
+// registry's cardinality audit (TopK families by live series), the
+// timeseries sampler's resident memory, and the journal's occupancy.
+func (s *server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if str := r.URL.Query().Get("k"); str != "" {
+		v, err := strconv.Atoi(str)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("telemetry: bad k %q (want a positive integer)", str))
+			return
+		}
+		k = v
+	}
+	var tail any
+	if s.tail != nil {
+		tail = s.tail.Stats()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tail_sampling": tail,
+		"cardinality":   s.c.Metrics().CardinalityAudit(k),
+		"sampler":       s.sampler.Stats(),
+		"journal": map[string]any{
+			"events":  s.c.Journal().Len(),
+			"dropped": s.c.Journal().Dropped(),
+			"shards":  s.c.Journal().Shards(),
+		},
+	})
 }
 
 // handleInsightCriticalPath serves one trace's critical-path analysis:
@@ -781,6 +990,11 @@ func (s *server) handleInsightSlowest(w http.ResponseWriter, r *http.Request) {
 // compares.
 func (s *server) handleInsightReport(w http.ResponseWriter, r *http.Request) {
 	rep := insight.Analyze(s.c.Journal().Events())
+	if s.tail != nil {
+		// The journal is tail-sampled: say how partial the report is.
+		st := s.tail.Stats()
+		rep.AnnotateCoverage(int(st.KeptTraces), int(st.DecidedTraces))
+	}
 	insight.CountReport(s.c.Metrics(), "report")
 	writeJSON(w, http.StatusOK, rep)
 }

@@ -19,7 +19,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	s := newServer(2, nil)
+	s := newServer(2, nil, nil)
 	ts := httptest.NewServer(s.mux())
 	t.Cleanup(ts.Close)
 	return ts

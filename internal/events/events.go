@@ -26,7 +26,10 @@
 // benchmark baseline. The one observable difference is eviction under
 // overflow: a full shard evicts its own oldest event rather than the
 // globally oldest (capacity is divided across shards), an approximation
-// that only shows once a run overflows the ring.
+// that only shows once a run overflows the ring. With an eviction
+// guard installed (SetEvictionGuard — a tail sampler protecting its
+// still-open traces) a full shard skips guarded traces and evicts the
+// oldest unguarded event instead.
 package events
 
 import (
@@ -112,6 +115,15 @@ const DefaultCapacity = 1 << 16
 // the simulated fleets the cluster experiments run (dozens of nodes).
 const DefaultShards = 16
 
+// Observer sees every event as it is appended — the hook a tail
+// sampler uses to track trace liveness without polling the rings.
+// ObserveEvent runs on the appending goroutine after the shard lock is
+// released, so an observer may call back into the journal (DropTrace,
+// Trace, …) but must tolerate concurrent appends.
+type Observer interface {
+	ObserveEvent(e Event)
+}
+
 // Journal is the bounded event ring of one simulated deployment (a
 // host, or a whole cluster sharing one journal via EnvConfig). When
 // full, the oldest events are dropped and counted. A nil *Journal is
@@ -125,6 +137,9 @@ type Journal struct {
 
 	recorded atomic.Pointer[metrics.Counter]
 	droppedC atomic.Pointer[metrics.Counter]
+
+	obs   atomic.Pointer[Observer]
+	guard atomic.Pointer[func(TraceID) bool]
 }
 
 // journalShard is one independently locked event ring; appends hash
@@ -200,6 +215,37 @@ func (j *Journal) Instrument(reg *metrics.Registry) {
 	j.droppedC.Store(reg.Counter("events_dropped_total"))
 }
 
+// SetObserver installs (or, with nil, removes) the journal's single
+// observer. The observer sees every subsequent append.
+func (j *Journal) SetObserver(o Observer) {
+	if j == nil {
+		return
+	}
+	if o == nil {
+		j.obs.Store(nil)
+		return
+	}
+	j.obs.Store(&o)
+}
+
+// SetEvictionGuard installs the predicate consulted when a full shard
+// must evict: active(trace) == true protects that trace's events, so
+// ring pressure falls on completed traces first. A tail sampler
+// installs one so spans of still-open traces cannot be lost before
+// their keep/drop decision. The guard runs under the shard lock and
+// must not call back into the journal. Nil removes the guard,
+// restoring plain oldest-first eviction.
+func (j *Journal) SetEvictionGuard(active func(TraceID) bool) {
+	if j == nil {
+		return
+	}
+	if active == nil {
+		j.guard.Store(nil)
+		return
+	}
+	j.guard.Store(&active)
+}
+
 // append records an event, assigning its sequence number.
 func (j *Journal) append(e Event) {
 	if j == nil {
@@ -216,16 +262,75 @@ func (j *Journal) appendTo(s *journalShard, e *Event) {
 	e.Seq = j.seq.Add(1)
 	s.mu.Lock()
 	if s.n == len(s.buf) {
-		// Ring full: overwrite the shard's oldest.
-		s.start = (s.start + 1) % len(s.buf)
-		s.n--
-		s.dropped++
-		j.droppedC.Load().Inc()
+		j.evictOne(s)
 	}
 	s.buf[(s.start+s.n)%len(s.buf)] = *e
 	s.n++
 	s.mu.Unlock()
 	j.recorded.Load().Inc()
+	if op := j.obs.Load(); op != nil {
+		(*op).ObserveEvent(*e)
+	}
+}
+
+// evictOne frees one slot in a full shard ring; the caller holds s.mu.
+// Without a guard the shard's oldest event goes. With a guard the
+// oldest event of an inactive trace goes instead (traceless events
+// count as inactive), so a still-open trace keeps its spans; when every
+// resident event is protected the shard falls back to plain oldest —
+// bounded memory beats perfect retention.
+func (j *Journal) evictOne(s *journalShard) {
+	victim := 0
+	if gp := j.guard.Load(); gp != nil {
+		active := *gp
+		for k := 0; k < s.n; k++ {
+			e := &s.buf[(s.start+k)%len(s.buf)]
+			if e.Trace == 0 || !active(e.Trace) {
+				victim = k
+				break
+			}
+		}
+	}
+	// Shift the events older than the victim forward one slot and
+	// advance start: survivors keep their relative order.
+	for k := victim; k > 0; k-- {
+		s.buf[(s.start+k)%len(s.buf)] = s.buf[(s.start+k-1)%len(s.buf)]
+	}
+	s.start = (s.start + 1) % len(s.buf)
+	s.n--
+	s.dropped++
+	j.droppedC.Load().Inc()
+}
+
+// DropTrace removes every resident event of one trace and reports how
+// many events (and how many NDJSON-encoded bytes, trailing newlines
+// included) were discarded — the accounting a tail sampler charges its
+// dropped-bytes counters with. Dropping is physical: Events(), Trace(),
+// and every exporter see only survivors, so a sampled journal costs
+// O(kept). Sampler drops are deliberate, so they do not count into
+// Dropped() or events_dropped_total, which measure ring-overflow loss.
+func (j *Journal) DropTrace(id TraceID) (removed int, bytes int64) {
+	if j == nil || id == 0 {
+		return 0, 0
+	}
+	for i := range j.shards {
+		s := &j.shards[i]
+		s.mu.Lock()
+		kept := 0
+		for k := 0; k < s.n; k++ {
+			e := s.buf[(s.start+k)%len(s.buf)]
+			if e.Trace == id {
+				removed++
+				bytes += int64(EncodedSize(e))
+				continue
+			}
+			s.buf[(s.start+kept)%len(s.buf)] = e
+			kept++
+		}
+		s.n = kept
+		s.mu.Unlock()
+	}
+	return removed, bytes
 }
 
 // newTraceID allocates a fresh trace ID.

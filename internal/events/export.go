@@ -27,25 +27,29 @@ type lineEvent struct {
 	Attrs     map[string]string `json:"attrs,omitempty"`
 }
 
+func toLine(e Event) lineEvent {
+	le := lineEvent{
+		Seq: e.Seq, TSNS: int64(e.TS), Trace: e.Trace, Span: e.Span,
+		Parent: e.Parent, Kind: e.Kind, Component: e.Component,
+		Name: e.Name, Node: e.Node, VM: e.VM,
+		LinkTrace: e.Link.Trace, LinkSpan: e.Link.Span,
+	}
+	if len(e.Attrs) > 0 {
+		le.Attrs = make(map[string]string, len(e.Attrs))
+		for _, a := range e.Attrs {
+			le.Attrs[a.Key] = a.Value
+		}
+	}
+	return le
+}
+
 // WriteNDJSON renders events one JSON object per line. The encoding is
 // deterministic (ordered struct fields; attr maps are small and Go's
 // encoder sorts map keys), so two same-seed runs dump identical bytes —
 // the property the replay test pins down.
 func WriteNDJSON(w io.Writer, evs []Event) error {
 	for _, e := range evs {
-		le := lineEvent{
-			Seq: e.Seq, TSNS: int64(e.TS), Trace: e.Trace, Span: e.Span,
-			Parent: e.Parent, Kind: e.Kind, Component: e.Component,
-			Name: e.Name, Node: e.Node, VM: e.VM,
-			LinkTrace: e.Link.Trace, LinkSpan: e.Link.Span,
-		}
-		if len(e.Attrs) > 0 {
-			le.Attrs = make(map[string]string, len(e.Attrs))
-			for _, a := range e.Attrs {
-				le.Attrs[a.Key] = a.Value
-			}
-		}
-		b, err := json.Marshal(le)
+		b, err := json.Marshal(toLine(e))
 		if err != nil {
 			return err
 		}
@@ -54,6 +58,18 @@ func WriteNDJSON(w io.Writer, evs []Event) error {
 		}
 	}
 	return nil
+}
+
+// EncodedSize reports the NDJSON-encoded size of one event in bytes,
+// trailing newline included — the unit of the telemetry plane's
+// dropped-bytes accounting, so "bytes saved" matches what an export
+// would actually have written.
+func EncodedSize(e Event) int {
+	b, err := json.Marshal(toLine(e))
+	if err != nil {
+		return 0
+	}
+	return len(b) + 1
 }
 
 // chromeEvent is one entry of the Chrome trace-event format

@@ -82,6 +82,7 @@ func All() []Experiment {
 		{"wfchain", "Extension: workflow DAGs, triggers, and DLQ replay under the chaos storm", RunWfchain},
 		{"insight", "Extension: critical-path blame, service graph, and exemplars over the chaos journal", RunInsight},
 		{"memtl", "Extension: memory timeline with PSS conservation and sharing lineage (Fig-10 methodology)", RunMemTimeline},
+		{"telem", "Extension: tail-based trace sampling with 100% error retention and layout-invariant exports", RunTelem},
 	}
 }
 

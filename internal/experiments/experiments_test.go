@@ -9,7 +9,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	all := All()
 	want := []string{"table1", "table2", "snaptime", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12",
-		"wild", "reap", "snapbudget", "deopt", "scale", "chaos", "wfchain", "insight", "memtl"}
+		"wild", "reap", "snapbudget", "deopt", "scale", "chaos", "wfchain", "insight", "memtl", "telem"}
 	if len(all) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(all), len(want))
 	}

@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/faults"
+	"repro/internal/insight"
+	"repro/internal/lang"
+	"repro/internal/msgbus"
+	"repro/internal/platform"
+	"repro/internal/runtime"
+	"repro/internal/telemetry"
+	"repro/internal/timeseries"
+	"repro/internal/vclock"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+// Telemetry-plane experiment: replay the chaos storm in exposed mode
+// (no retries, so real failures and a firing SLO alert are part of the
+// schedule) twice — once at full journal fidelity, once with the
+// tail-based trace sampler armed — and verify the plane's contract:
+//
+//   - the sampled journal export shrinks by at least 5x in bytes;
+//   - every trace that carried an error, absorbed an injected fault,
+//     or dead-lettered a workflow step survives sampling (100%
+//     retention of the interesting tail), and every SLO alert's causal
+//     link still resolves through the sampled journal;
+//   - the sampled NDJSON export and the insight report built over it
+//     are byte-identical across journal shard layouts and across
+//     same-seed replays — sampling must not cost determinism.
+
+const (
+	// telemSeed reuses the chaos storm's fault schedule.
+	telemSeed        = 22
+	telemRate        = 0.01
+	telemNodes       = 3
+	telemInvocations = 300
+	// telemKeepRate is the probabilistic keep fraction for boring
+	// traces; the always-keep policies ride above it.
+	telemKeepRate = 0.05
+	// telemSampleSeed drives the probabilistic keep decisions.
+	telemSampleSeed = 7
+	// telemJournalCap is generous enough that no arm ever evicts: the
+	// byte reduction must come from sampling, not from ring overflow.
+	telemJournalCap = 1 << 17
+)
+
+// telemOutcome is what one storm arm produced.
+type telemOutcome struct {
+	requests int
+	failures int
+	// ndjson is the post-flush journal export; insightJSON the full
+	// insight report over the same events (coverage-annotated when
+	// sampled).
+	ndjson      []byte
+	insightJSON []byte
+	stats       telemetry.Stats
+	journal     *events.Journal
+	alerts      []timeseries.Alert
+	// errorTraces/faultTraces/dlqTraces classify the journal's traces
+	// by what the sampling policies must preserve.
+	errorTraces map[events.TraceID]bool
+	faultTraces map[events.TraceID]bool
+	dlqTraces   map[events.TraceID]bool
+}
+
+// telemInvoker adapts the cluster to the workflow engine (steps place
+// like any other invocation).
+type telemInvoker struct{ c *cluster.Cluster }
+
+func (ti telemInvoker) Invoke(name string, params lang.Value, opts platform.InvokeOptions) (*platform.Invocation, error) {
+	inv, _, err := ti.c.Invoke(name, params, opts)
+	return inv, err
+}
+
+// telemPipeline is a two-step workflow whose second step calls a
+// function that is never installed: the run stalls, the step
+// dead-letters, and the journal gets a workflow/step-dead instant —
+// the DLQ always-keep policy's trigger.
+func telemPipeline() *workflow.Spec {
+	return &workflow.Spec{
+		Name: "telem-pipeline",
+		Steps: []workflow.Step{
+			{ID: "head", Function: workloads.Fact(runtime.LangNode).Name},
+			{ID: "poison", Function: "telem-missing", After: []string{"head"}},
+		},
+	}
+}
+
+// runTelemOnce replays the seeded storm against one journal layout,
+// with or without the tail sampler armed.
+func runTelemOnce(shards int, sampled bool) (*telemOutcome, error) {
+	plane := faults.NewPlane(telemSeed)
+	cfg := platform.EnvConfig{
+		Faults: plane,
+		Events: events.NewJournalShards(telemJournalCap, shards),
+	}
+	// Exposed mode: no retries, no failover — the storm's failures are
+	// real, so the journal has an interesting tail to preserve.
+	c := cluster.New(telemNodes, cluster.RoundRobin, cfg, func(env *platform.Env) platform.Platform {
+		return core.New(env, core.Options{})
+	})
+	c.SetFailover(cluster.FailoverPolicy{MaxFailovers: 0})
+
+	wa := workloads.Fact(runtime.LangNode)
+	wb := workloads.MatrixMult(runtime.LangNode)
+	for _, w := range []workloads.Workload{wa, wb} {
+		if err := c.Install(w.Function); err != nil {
+			return nil, err
+		}
+	}
+
+	var tail *telemetry.TailSampler
+	if sampled {
+		tail = telemetry.New(telemetry.Config{Seed: telemSampleSeed, KeepRate: telemKeepRate})
+		tail.Attach(c.Journal(), c.Metrics())
+	}
+	plane.ApplyDefaultPlan(telemRate)
+
+	eng := workflow.New(msgbus.NewBroker(), c.Journal(), c.Metrics(), telemInvoker{c}, workflow.Options{})
+	if err := eng.Register(telemPipeline()); err != nil {
+		return nil, err
+	}
+
+	out := &telemOutcome{journal: c.Journal()}
+	sampler := timeseries.NewSampler(c.Metrics(), timeseries.DefaultCapacity)
+	sampler.SetRollups(timeseries.DefaultRollups())
+	sampler.AddProbe("telem_requests_total", func() float64 { return float64(out.requests) })
+	sampler.AddProbe("telem_failures_total", func() float64 { return float64(out.failures) })
+	wd := timeseries.NewWatchdog(sampler, c.Journal(), c.Metrics())
+	wd.AddRule(timeseries.Rule{
+		Name:      "invoke-success-rate",
+		Ratio:     &timeseries.RatioSource{Num: "telem_failures_total", Den: "telem_requests_total", Complement: true, MinDen: 50},
+		Op:        timeseries.AtLeast,
+		Threshold: 0.99,
+	})
+	timeline := vclock.New()
+	sampler.Sample(0)
+
+	paramsA := platform.MustParams(map[string]any{"n": 101, "rounds": 2})
+	paramsB := platform.MustParams(map[string]any{"n": 4})
+	for i := 0; i < telemInvocations; i++ {
+		name, params := wa.Name, paramsA
+		if i%2 == 1 {
+			name, params = wb.Name, paramsB
+		}
+		inv, _, err := c.Invoke(name, params, platform.InvokeOptions{})
+		step := time.Microsecond
+		out.requests++
+		if err != nil {
+			out.failures++
+		} else {
+			step = inv.Breakdown.Total()
+		}
+		now := timeline.Advance(step)
+		sampler.Sample(now)
+		wd.Evaluate(now)
+		tail.Flush(now)
+	}
+	// One poisoned workflow run dead-letters its second step; errors are
+	// expected (that is the point), the DLQ instant is the witness.
+	_, _ = eng.Run("telem-pipeline", map[string]any{"n": 3, "rounds": 1}, timeline.Now())
+	tail.FlushAll()
+	out.alerts = wd.Alerts()
+	out.stats = tail.Stats()
+
+	evs := c.Journal().Events()
+	out.errorTraces = make(map[events.TraceID]bool)
+	out.faultTraces = make(map[events.TraceID]bool)
+	out.dlqTraces = make(map[events.TraceID]bool)
+	for _, e := range evs {
+		if e.Trace == 0 {
+			continue
+		}
+		for _, a := range e.Attrs {
+			if a.Key == "error" {
+				out.errorTraces[e.Trace] = true
+			}
+		}
+		if e.Kind == events.KindInstant && e.Component == "faults" {
+			out.faultTraces[e.Trace] = true
+		}
+		if e.Kind == events.KindInstant && e.Component == "workflow" && e.Name == "step-dead" {
+			out.dlqTraces[e.Trace] = true
+		}
+	}
+
+	var nd bytes.Buffer
+	if err := events.WriteNDJSON(&nd, evs); err != nil {
+		return nil, err
+	}
+	out.ndjson = nd.Bytes()
+	rep := insight.Analyze(evs)
+	if sampled {
+		rep.AnnotateCoverage(int(out.stats.KeptTraces), int(out.stats.DecidedTraces))
+	}
+	var ij bytes.Buffer
+	if err := rep.WriteJSON(&ij); err != nil {
+		return nil, err
+	}
+	out.insightJSON = ij.Bytes()
+	return out, nil
+}
+
+// retained counts how many of the given traces still resolve through
+// the sampled journal.
+func retained(traces map[events.TraceID]bool, j *events.Journal) (kept, total int) {
+	for id := range traces {
+		total++
+		if len(j.Trace(id)) > 0 {
+			kept++
+		}
+	}
+	return kept, total
+}
+
+// RunTelem is registered as experiment id "telem".
+func RunTelem() (*Result, error) {
+	full, err := runTelemOnce(1, false)
+	if err != nil {
+		return nil, err
+	}
+	sampledA, err := runTelemOnce(1, true)
+	if err != nil {
+		return nil, err
+	}
+	sampledB, err := runTelemOnce(16, true)
+	if err != nil {
+		return nil, err
+	}
+	replay, err := runTelemOnce(1, true)
+	if err != nil {
+		return nil, err
+	}
+
+	reduction := 0.0
+	if len(sampledA.ndjson) > 0 {
+		reduction = float64(len(full.ndjson)) / float64(len(sampledA.ndjson))
+	}
+	errKept, errTotal := retained(full.errorTraces, sampledA.journal)
+	faultKept, faultTotal := retained(full.faultTraces, sampledA.journal)
+	dlqKept, dlqTotal := retained(full.dlqTraces, sampledA.journal)
+
+	alertLinksResolve := len(sampledA.alerts) > 0
+	for _, a := range sampledA.alerts {
+		if a.Link.Trace == 0 || len(sampledA.journal.Trace(a.Link.Trace)) == 0 {
+			alertLinksResolve = false
+		}
+	}
+	layoutInvariant := bytes.Equal(sampledA.ndjson, sampledB.ndjson) &&
+		bytes.Equal(sampledA.insightJSON, sampledB.insightJSON)
+	reproducible := bytes.Equal(sampledA.ndjson, replay.ndjson) &&
+		bytes.Equal(sampledA.insightJSON, replay.insightJSON)
+
+	res := &Result{ID: "telem"}
+	row := func(mode string, o *telemOutcome) []string {
+		return []string{
+			mode,
+			fmt.Sprintf("%d", o.requests),
+			fmt.Sprintf("%d", o.failures),
+			fmt.Sprintf("%d", o.journal.Len()),
+			fmt.Sprintf("%d", len(o.ndjson)),
+			fmt.Sprintf("%d/%d", o.stats.KeptTraces, o.stats.DecidedTraces),
+			fmt.Sprintf("%d", o.stats.DroppedBytes),
+		}
+	}
+	res.Tables = append(res.Tables, Table{
+		ID:     "telem",
+		Title:  fmt.Sprintf("Telemetry plane: tail sampling over the exposed storm (seed %d, %d invocations, keep rate %.0f%%)", telemSeed, telemInvocations, telemKeepRate*100),
+		Header: []string{"mode", "requests", "failed", "journal events", "export bytes", "traces kept", "bytes dropped"},
+		Rows: [][]string{
+			row("full fidelity", full),
+			row("tail-sampled", sampledA),
+		},
+		Notes: []string{
+			"same seed, same storm: the arms differ only in the sampler",
+			"errors, injected faults, DLQ runs, and latency outliers are always kept; the rest keep probabilistically",
+		},
+	})
+	res.Checks = append(res.Checks,
+		Check{
+			Name:     "journal export shrinks at least 5x",
+			Expected: ">= 5.0x fewer bytes",
+			Measured: fmt.Sprintf("%.1fx (%d -> %d bytes)", reduction, len(full.ndjson), len(sampledA.ndjson)),
+			Pass:     reduction >= 5.0,
+		},
+		Check{
+			Name:     "every error trace survives sampling",
+			Expected: "100% retention",
+			Measured: fmt.Sprintf("%d/%d", errKept, errTotal),
+			Pass:     errTotal > 0 && errKept == errTotal,
+		},
+		Check{
+			Name:     "every fault-carrying trace survives sampling",
+			Expected: "100% retention",
+			Measured: fmt.Sprintf("%d/%d", faultKept, faultTotal),
+			Pass:     faultTotal > 0 && faultKept == faultTotal,
+		},
+		Check{
+			Name:     "every workflow DLQ trace survives sampling",
+			Expected: "100% retention",
+			Measured: fmt.Sprintf("%d/%d", dlqKept, dlqTotal),
+			Pass:     dlqTotal > 0 && dlqKept == dlqTotal,
+		},
+		Check{
+			Name:     "SLO alert links resolve through the sampled journal",
+			Expected: "every alert's trace resolvable",
+			Measured: fmt.Sprintf("%d alerts", len(sampledA.alerts)),
+			Pass:     alertLinksResolve,
+		},
+		Check{
+			Name:     "sampled exports are shard-layout invariant",
+			Expected: "byte-identical across 1 and 16 stripes",
+			Measured: map[bool]string{true: "identical", false: "DIVERGED"}[layoutInvariant],
+			Pass:     layoutInvariant,
+		},
+		Check{
+			Name:     "fixed seed reproduces the sampled exports",
+			Expected: "byte-identical NDJSON + insight JSON",
+			Measured: map[bool]string{true: "identical", false: "DIVERGED"}[reproducible],
+			Pass:     reproducible,
+		},
+		Check{
+			Name:     "insight report annotates its coverage",
+			Expected: `"coverage" with kept/total`,
+			Measured: fmt.Sprintf("kept %d of %d traces", sampledA.stats.KeptTraces, sampledA.stats.DecidedTraces),
+			Pass:     bytes.Contains(sampledA.insightJSON, []byte(`"coverage"`)) && sampledA.stats.DecidedTraces > sampledA.stats.KeptTraces,
+		},
+	)
+	res.Artifacts = append(res.Artifacts,
+		Artifact{Name: "telem-sampled.ndjson", Contents: sampledA.ndjson},
+		Artifact{Name: "telem-insight.json", Contents: sampledA.insightJSON},
+	)
+	return res, nil
+}

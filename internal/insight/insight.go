@@ -35,6 +35,26 @@ type Report struct {
 	TraceCount int            `json:"trace_count"`
 	Traces     []TraceInsight `json:"traces"`
 	Graph      ServiceGraph   `json:"graph"`
+	// Coverage, when set, records that the journal behind this report
+	// was tail-sampled: KeptTraces of TotalTraces survived the sampler
+	// (docs/telemetry.md). Nil for full-fidelity journals, so reports
+	// over unsampled journals keep their exact historical encoding.
+	Coverage *Coverage `json:"coverage,omitempty"`
+}
+
+// Coverage is the sampled-journal annotation: how many traces the
+// report actually saw out of how many the workload produced. Reports
+// over a sampled journal are still deterministic — the sampler's keep
+// decisions are seeded — but they are partial, and this says by how
+// much.
+type Coverage struct {
+	KeptTraces  int `json:"kept_traces"`
+	TotalTraces int `json:"total_traces"`
+}
+
+// AnnotateCoverage attaches a sampling-coverage note to the report.
+func (r *Report) AnnotateCoverage(kept, total int) {
+	r.Coverage = &Coverage{KeptTraces: kept, TotalTraces: total}
 }
 
 // Analyze builds a full report from a journal's events (as returned by

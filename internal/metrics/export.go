@@ -139,20 +139,35 @@ func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{VirtualTimeNS: int64(r.snapshotTime())}
 	// Gather instruments stripe by stripe; the sort below merges the
 	// shards deterministically, so shard count never shows in the dump.
+	// Redirected names alias the same instrument under several map
+	// keys (see cardinality.go) — the seen sets export each shared
+	// overflow series exactly once.
 	var counters []*Counter
 	var gauges []*Gauge
 	var hists []*Histogram
+	seenC := make(map[*Counter]bool)
+	seenG := make(map[*Gauge]bool)
+	seenH := make(map[*Histogram]bool)
 	for i := range r.shards {
 		s := &r.shards[i]
 		s.mu.RLock()
 		for _, c := range s.counters {
-			counters = append(counters, c)
+			if !seenC[c] {
+				seenC[c] = true
+				counters = append(counters, c)
+			}
 		}
 		for _, g := range s.gauges {
-			gauges = append(gauges, g)
+			if !seenG[g] {
+				seenG[g] = true
+				gauges = append(gauges, g)
+			}
 		}
 		for _, h := range s.histograms {
-			hists = append(hists, h)
+			if !seenH[h] {
+				seenH[h] = true
+				hists = append(hists, h)
+			}
 		}
 		s.mu.RUnlock()
 	}

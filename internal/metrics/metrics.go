@@ -98,6 +98,10 @@ type Registry struct {
 	readC     atomic.Pointer[map[string]*Counter]
 	readG     atomic.Pointer[map[string]*Gauge]
 	readH     atomic.Pointer[map[string]*Histogram]
+
+	// card is the cardinality governor (cardinality.go); its zero
+	// value leaves every family unbounded.
+	card cardinality
 }
 
 // regShard is one independently locked stripe of the name space. The
@@ -220,11 +224,29 @@ func (r *Registry) counterSlow(name string) *Counter {
 		s.mu.Unlock()
 		return c
 	}
-	c = &Counter{name: name}
-	s.counters[name] = c
+	fam, redirect := r.admitSeries(name)
+	if !redirect {
+		c = &Counter{name: name}
+		s.counters[name] = c
+		s.mu.Unlock()
+		r.republishCounters()
+		return c
+	}
 	s.mu.Unlock()
+	// Family over budget: alias this name onto the shared overflow
+	// series (created outside the shard lock — it may hash anywhere),
+	// so repeat lookups still hit the read index.
+	oc := r.Counter(OverflowName(fam))
+	s.mu.Lock()
+	if c := s.counters[name]; c != nil {
+		s.mu.Unlock()
+		return c
+	}
+	s.counters[name] = oc
+	s.mu.Unlock()
+	r.noteOverflow(fam)
 	r.republishCounters()
-	return c
+	return oc
 }
 
 func (r *Registry) republishCounters() {
@@ -263,11 +285,26 @@ func (r *Registry) gaugeSlow(name string) *Gauge {
 		s.mu.Unlock()
 		return g
 	}
-	g = &Gauge{name: name}
-	s.gauges[name] = g
+	fam, redirect := r.admitSeries(name)
+	if !redirect {
+		g = &Gauge{name: name}
+		s.gauges[name] = g
+		s.mu.Unlock()
+		r.republishGauges()
+		return g
+	}
 	s.mu.Unlock()
+	og := r.Gauge(OverflowName(fam))
+	s.mu.Lock()
+	if g := s.gauges[name]; g != nil {
+		s.mu.Unlock()
+		return g
+	}
+	s.gauges[name] = og
+	s.mu.Unlock()
+	r.noteOverflow(fam)
 	r.republishGauges()
-	return g
+	return og
 }
 
 func (r *Registry) republishGauges() {
@@ -328,7 +365,12 @@ func (r *Registry) HistogramWith(name, unit string, bounds []float64) *Histogram
 	}
 	s.mu.Lock()
 	h := s.histograms[name]
-	if h == nil {
+	if h != nil {
+		s.mu.Unlock()
+		return h
+	}
+	fam, redirect := r.admitSeries(name)
+	if !redirect {
 		h = &Histogram{
 			name:   name,
 			unit:   unit,
@@ -341,7 +383,19 @@ func (r *Registry) HistogramWith(name, unit string, bounds []float64) *Histogram
 		return h
 	}
 	s.mu.Unlock()
-	return h
+	// The overflow histogram inherits this create's unit and bounds —
+	// families share a shape, so the first redirected shape wins.
+	oh := r.HistogramWith(OverflowName(fam), unit, bounds)
+	s.mu.Lock()
+	if h := s.histograms[name]; h != nil {
+		s.mu.Unlock()
+		return h
+	}
+	s.histograms[name] = oh
+	s.mu.Unlock()
+	r.noteOverflow(fam)
+	r.republishHistograms()
+	return oh
 }
 
 func (r *Registry) republishHistograms() {

@@ -2,6 +2,7 @@ package timeseries
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -35,6 +36,7 @@ type Sampler struct {
 	series  map[string]*Series
 	probes  []probe
 	keep    func(name string) bool
+	rollups []RollupSpec
 	samples *metrics.Counter
 }
 
@@ -70,9 +72,24 @@ func (s *Sampler) AddProbe(name string, fn func() float64) {
 	s.probes = append(s.probes, probe{name: name, fn: fn})
 }
 
+// SetRollups attaches downsampling tiers to every series the sampler
+// creates from here on (see RollupSpec; DefaultRollups gives the
+// 10s/60s tiers). Call before the first Sample so every series is
+// tiered; already-created series are unaffected.
+func (s *Sampler) SetRollups(specs []RollupSpec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rollups = append([]RollupSpec(nil), specs...)
+}
+
 // Sample snapshots the registry and every probe at virtual time now.
 // Sampling the same instant twice appends two points; the owner's
 // clock discipline decides the cadence.
+//
+// Probes are fenced: a panicking probe, or one returning NaN/Inf, is
+// skipped for that sample and counted as
+// timeseries_probe_errors_total{probe} — one bad derived quantity must
+// not take the telemetry plane down or poison the CSV timelines.
 func (s *Sampler) Sample(now time.Duration) {
 	s.samples.Inc()
 	snap := s.reg.Snapshot()
@@ -90,8 +107,27 @@ func (s *Sampler) Sample(now time.Duration) {
 		s.recordLocked(h.Name+".p99", now, h.P99)
 	}
 	for _, p := range s.probes {
-		s.appendLocked(p.name, now, p.fn())
+		if v, ok := runProbe(p.fn); ok {
+			s.appendLocked(p.name, now, v)
+		} else {
+			s.reg.Counter(metrics.Name("timeseries_probe_errors_total", "probe", p.name)).Inc()
+		}
 	}
+}
+
+// runProbe calls one probe fn, converting panics and non-finite
+// results into ok=false.
+func runProbe(fn func() float64) (v float64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			v, ok = 0, false
+		}
+	}()
+	v = fn()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	return v, true
 }
 
 // recordLocked appends a registry-sourced point, honoring the filter.
@@ -105,10 +141,42 @@ func (s *Sampler) recordLocked(name string, ts time.Duration, v float64) {
 func (s *Sampler) appendLocked(name string, ts time.Duration, v float64) {
 	sr := s.series[name]
 	if sr == nil {
-		sr = newSeries(name, s.cap)
+		sr = newSeriesTiered(name, s.cap, s.rollups)
 		s.series[name] = sr
 	}
 	sr.append(ts, v)
+}
+
+// SamplerStats is the sampler's own memory accounting, reported by
+// /telemetry: how much history the plane itself is holding.
+type SamplerStats struct {
+	Series      int `json:"series"`
+	Points      int `json:"points"`
+	TierBuckets int `json:"tier_buckets"`
+}
+
+// Stats reports resident series, points, and rollup buckets.
+func (s *Sampler) Stats() SamplerStats {
+	var st SamplerStats
+	if s == nil {
+		return st
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.Series = len(s.series)
+	for _, sr := range s.series {
+		st.Points += sr.Len()
+		st.TierBuckets += sr.TierBuckets()
+	}
+	return st
+}
+
+// Rollup returns a copy of one series' rollup buckets at the given
+// tier width (nil when absent).
+func (s *Sampler) Rollup(name string, width time.Duration) []RollupBucket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.series[name].Rollup(width)
 }
 
 // Names returns every series name, sorted.
